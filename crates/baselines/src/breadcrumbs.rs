@@ -1,0 +1,399 @@
+//! Breadcrumbs-lite (after Bond, Baker & Guyer, PLDI 2010).
+//!
+//! Breadcrumbs attempts to add decoding to PCC: it records the current hash
+//! value at statically chosen *cold* call sites ("breadcrumbs"), then
+//! decodes offline by searching the call graph for a path whose hash chain
+//! reproduces the observed value — exploiting that `V' = 3V + cs` is
+//! invertible modulo a power of two.
+//!
+//! This module reproduces the *cost structure* the DeltaPath paper
+//! criticizes rather than the full hot/cold classification: recording makes
+//! the encoder slower than plain PCC in proportion to the cold-site
+//! fraction, and decoding is an expensive search whose effort and
+//! reliability degrade with context depth (the original evaluation capped
+//! it at five seconds per context), in contrast to DeltaPath's instant
+//! walk. The search decoder is exact when it terminates uniquely; it
+//! reports ambiguity and budget exhaustion honestly.
+
+use std::collections::HashSet;
+
+use deltapath_core::EncodingPlan;
+use deltapath_ir::{MethodId, SiteId};
+use deltapath_runtime::{Capture, ContextEncoder, OpCounts};
+
+use crate::pcc::{PccEncoder, PccWidth};
+
+/// Crumb context for a pruned search: the cold-site set and the recorded
+/// `(site, value)` pairs.
+type CrumbContext<'c> = (&'c HashSet<SiteId>, &'c HashSet<(SiteId, u64)>);
+
+/// PCC plus breadcrumb recording at a chosen subset of call sites.
+#[derive(Clone, Debug)]
+pub struct BreadcrumbsEncoder {
+    pcc: PccEncoder,
+    cold_sites: HashSet<SiteId>,
+    /// Recorded `(site, value-before-call)` pairs.
+    crumbs: Vec<(SiteId, u64)>,
+    extra: OpCounts,
+}
+
+impl BreadcrumbsEncoder {
+    /// Instruments the same sites as `plan`; every `1/cold_ratio`-th site
+    /// (by id order) records breadcrumbs. `cold_ratio = 1` records at every
+    /// site ("very accurate" mode, the ~100%-overhead end of the paper's
+    /// comparison); larger ratios approach plain PCC.
+    pub fn from_plan(plan: &EncodingPlan, width: PccWidth, cold_ratio: usize) -> Self {
+        let all: Vec<SiteId> = plan
+            .graph()
+            .instrumented_sites()
+            .into_iter()
+            .filter(|&s| plan.site(s).map(|i| i.encoded).unwrap_or(false))
+            .collect();
+        let cold_sites = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| cold_ratio != 0 && i % cold_ratio == 0)
+            .map(|(_, &s)| s)
+            .collect();
+        Self {
+            pcc: PccEncoder::from_plan(plan, width),
+            cold_sites,
+            crumbs: Vec::new(),
+            extra: OpCounts::default(),
+        }
+    }
+
+    /// The recorded breadcrumbs.
+    pub fn crumbs(&self) -> &[(SiteId, u64)] {
+        &self.crumbs
+    }
+
+    /// The statically chosen cold sites (where crumbs are recorded).
+    pub fn cold_sites(&self) -> &HashSet<SiteId> {
+        &self.cold_sites
+    }
+}
+
+impl ContextEncoder for BreadcrumbsEncoder {
+    type CallToken = Option<u64>;
+    type EntryToken = ();
+
+    fn thread_start(&mut self, entry: MethodId) {
+        self.pcc.thread_start(entry);
+        self.crumbs.clear();
+    }
+
+    fn on_call(&mut self, site: SiteId) -> Option<u64> {
+        if self.cold_sites.contains(&site) {
+            // Recording a breadcrumb is a store to a growing buffer; model
+            // it as a push.
+            self.extra.pushes += 1;
+            self.crumbs.push((site, self.pcc.value()));
+        }
+        self.pcc.on_call(site)
+    }
+
+    fn on_return(&mut self, site: SiteId, token: Option<u64>) {
+        self.pcc.on_return(site, token);
+    }
+
+    fn on_entry(&mut self, _method: MethodId, _via_site: Option<SiteId>) {}
+    fn on_exit(&mut self, _method: MethodId, _token: ()) {}
+
+    fn observe(&mut self, at: MethodId) -> Capture {
+        self.pcc.observe(at)
+    }
+
+    fn counts(&self) -> OpCounts {
+        let mut c = self.pcc.counts();
+        c.pushes += self.extra.pushes;
+        c
+    }
+
+    fn name(&self) -> &'static str {
+        "breadcrumbs"
+    }
+}
+
+/// The outcome of one offline Breadcrumbs decode attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BreadcrumbsOutcome {
+    /// Exactly one path reproduces the hash.
+    Unique(Vec<MethodId>),
+    /// Multiple paths reproduce it — the hash is ambiguous.
+    Ambiguous,
+    /// The search budget was exhausted before the space was covered.
+    BudgetExhausted,
+    /// No path reproduces the hash within the depth bound.
+    NotFound,
+}
+
+/// Offline search-based decoder for PCC/Breadcrumbs hash values.
+///
+/// Works backwards from the observation point, inverting `V' = 3V + cs`
+/// along every incoming edge (the multiplier 3 is odd, hence invertible
+/// modulo 2^k, so *every* edge is numerically possible — the search is
+/// guided only by reaching a root with value zero, which is what makes it
+/// expensive and fragile).
+#[derive(Debug)]
+pub struct BreadcrumbsDecoder<'a> {
+    plan: &'a EncodingPlan,
+    width: PccWidth,
+    /// Maximum context depth considered.
+    pub max_depth: usize,
+    /// Maximum search states explored per decode.
+    pub state_budget: usize,
+}
+
+impl<'a> BreadcrumbsDecoder<'a> {
+    /// Creates a decoder over the call graph of `plan`.
+    pub fn new(plan: &'a EncodingPlan, width: PccWidth) -> Self {
+        Self {
+            plan,
+            width,
+            max_depth: 64,
+            state_budget: 1 << 20,
+        }
+    }
+
+    /// Like [`decode`](Self::decode), but pruned by recorded breadcrumbs —
+    /// the technique's actual mechanism: a backward step over a *cold* call
+    /// site is only consistent if the inverted value was recorded as a crumb
+    /// for that site, which collapses the search space wherever cold sites
+    /// lie on the path.
+    pub fn decode_with_crumbs(
+        &self,
+        at: MethodId,
+        value: u64,
+        cold_sites: &HashSet<SiteId>,
+        crumbs: &[(SiteId, u64)],
+    ) -> (BreadcrumbsOutcome, usize) {
+        let crumb_set: HashSet<(SiteId, u64)> = crumbs.iter().copied().collect();
+        self.search(at, value, Some((cold_sites, &crumb_set)))
+    }
+
+    /// Attempts to decode `value` observed at `at`; returns the outcome and
+    /// the number of search states explored (the decode-cost metric reported
+    /// in EXPERIMENTS.md).
+    pub fn decode(&self, at: MethodId, value: u64) -> (BreadcrumbsOutcome, usize) {
+        self.search(at, value, None)
+    }
+
+    fn search(
+        &self,
+        at: MethodId,
+        value: u64,
+        crumbs: Option<CrumbContext<'_>>,
+    ) -> (BreadcrumbsOutcome, usize) {
+        let graph = self.plan.graph();
+        let Some(start) = graph.node_of(at) else {
+            return (BreadcrumbsOutcome::NotFound, 0);
+        };
+        let mask = match self.width {
+            PccWidth::Bits16 => 0xFFFFu64,
+            PccWidth::Bits32 => 0xFFFF_FFFF,
+            PccWidth::Bits64 => u64::MAX,
+        };
+        // Multiplicative inverse of 3 modulo 2^64 (truncates correctly for
+        // narrower masks).
+        const INV3: u64 = 0xAAAA_AAAA_AAAA_AAAB;
+
+        let mut explored = 0usize;
+        let mut found: Vec<Vec<MethodId>> = Vec::new();
+        let mut exhausted = false;
+        // Backward DFS over an arena of states with parent links (cloning a
+        // path per state would dominate the search cost).
+        struct State {
+            node: deltapath_callgraph::NodeIx,
+            value: u64,
+            parent: usize,
+            depth: usize,
+        }
+        let reconstruct = |arena: &[State], graph: &deltapath_callgraph::CallGraph,
+                           mut ix: usize| {
+            let mut path = Vec::new();
+            loop {
+                path.push(graph.method_of(arena[ix].node));
+                if arena[ix].parent == usize::MAX {
+                    break;
+                }
+                ix = arena[ix].parent;
+            }
+            // The found state is the outermost caller and parents lead back
+            // to the capture point, so the walk already yields
+            // outermost-first order.
+            path
+        };
+        let mut arena: Vec<State> = vec![State {
+            node: start,
+            value,
+            parent: usize::MAX,
+            depth: 1,
+        }];
+        let mut stack: Vec<usize> = vec![0];
+        while let Some(ix) = stack.pop() {
+            if explored >= self.state_budget {
+                exhausted = true;
+                break;
+            }
+            explored += 1;
+            let (node, v, depth) = (arena[ix].node, arena[ix].value, arena[ix].depth);
+            if graph.roots().contains(&node) && v == 0 {
+                found.push(reconstruct(&arena, graph, ix));
+                if found.len() > 1 {
+                    break;
+                }
+                // Note: a root with incoming edges could also be an interior
+                // node; keep searching alternatives below.
+            }
+            if depth > self.max_depth {
+                continue;
+            }
+            for &e in graph.in_edges(node) {
+                let edge = graph.edge(e);
+                let c = PccEncoder::site_constant(edge.site) & mask;
+                let prev = v.wrapping_sub(c).wrapping_mul(INV3) & mask;
+                if let Some((cold, crumb_set)) = crumbs {
+                    // The true execution recorded (site, V-before-call) at
+                    // every cold site; a backward step over a cold site is
+                    // only consistent with a matching crumb.
+                    if cold.contains(&edge.site) && !crumb_set.contains(&(edge.site, prev)) {
+                        continue;
+                    }
+                }
+                arena.push(State {
+                    node: edge.caller,
+                    value: prev,
+                    parent: ix,
+                    depth: depth + 1,
+                });
+                stack.push(arena.len() - 1);
+            }
+        }
+        let outcome = match (found.len(), exhausted) {
+            (0, true) => BreadcrumbsOutcome::BudgetExhausted,
+            (0, false) => BreadcrumbsOutcome::NotFound,
+            (1, _) => BreadcrumbsOutcome::Unique(found.pop().expect("one path")),
+            _ => BreadcrumbsOutcome::Ambiguous,
+        };
+        (outcome, explored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_core::PlanConfig;
+    use deltapath_ir::{MethodKind, Program, ProgramBuilder};
+    use deltapath_runtime::{EventLog, Vm, VmConfig};
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("bc");
+        let c = b.add_class("C", None);
+        b.method(c, "leaf", MethodKind::Static)
+            .body(|f| {
+                f.observe(1);
+            })
+            .finish();
+        b.method(c, "mid", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "leaf");
+            })
+            .finish();
+        let main = b
+            .method(c, "main", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "mid");
+                f.call(c, "leaf");
+            })
+            .finish();
+        b.entry(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn search_decoder_recovers_simple_contexts() {
+        let p = program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let mut enc = BreadcrumbsEncoder::from_plan(&plan, PccWidth::Bits64, 1);
+        let mut vm = Vm::new(&p, VmConfig::default());
+        let mut log = EventLog::default();
+        vm.run(&mut enc, &mut log).unwrap();
+        assert_eq!(log.events.len(), 2);
+
+        let decoder = BreadcrumbsDecoder::new(&plan, PccWidth::Bits64);
+        let Capture::Pcc(v) = log.events[0].2 else {
+            unreachable!()
+        };
+        let (outcome, explored) = decoder.decode(log.events[0].1, v);
+        match outcome {
+            BreadcrumbsOutcome::Unique(path) => {
+                assert_eq!(path.len(), 3); // main -> mid -> leaf
+            }
+            other => panic!("expected unique decode, got {other:?}"),
+        }
+        assert!(explored > 0);
+    }
+
+    #[test]
+    fn crumbs_are_recorded_at_cold_sites() {
+        let p = program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let mut enc = BreadcrumbsEncoder::from_plan(&plan, PccWidth::Bits64, 1);
+        let mut vm = Vm::new(&p, VmConfig::default());
+        let mut log = EventLog::default();
+        vm.run(&mut enc, &mut log).unwrap();
+        assert_eq!(enc.crumbs().len(), 3); // every call records
+        assert!(enc.counts().pushes >= 3);
+        assert!(enc.counts().hashes >= 3);
+    }
+
+    #[test]
+    fn wrong_value_is_not_found() {
+        let p = program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let decoder = BreadcrumbsDecoder::new(&plan, PccWidth::Bits64);
+        let leaf = p
+            .declared_method(
+                p.class_by_name("C").unwrap(),
+                p.symbols().lookup("leaf").unwrap(),
+            )
+            .unwrap();
+        let (outcome, _) = decoder.decode(leaf, 0xDEAD_BEEF);
+        assert_eq!(outcome, BreadcrumbsOutcome::NotFound);
+    }
+
+    #[test]
+    fn crumbs_prune_the_search() {
+        let p = program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let mut enc = BreadcrumbsEncoder::from_plan(&plan, PccWidth::Bits64, 1);
+        let mut vm = Vm::new(&p, VmConfig::default());
+        let mut log = EventLog::default();
+        vm.run(&mut enc, &mut log).unwrap();
+
+        let decoder = BreadcrumbsDecoder::new(&plan, PccWidth::Bits64);
+        let Capture::Pcc(v) = log.events[0].2 else {
+            unreachable!()
+        };
+        let at = log.events[0].1;
+        let (plain, plain_states) = decoder.decode(at, v);
+        let (pruned, pruned_states) =
+            decoder.decode_with_crumbs(at, v, enc.cold_sites(), enc.crumbs());
+        // Both find the unique path; the crumb-pruned search never explores
+        // more states.
+        assert!(matches!(plain, BreadcrumbsOutcome::Unique(_)));
+        assert_eq!(plain, pruned);
+        assert!(pruned_states <= plain_states);
+        // A crumb-pruned decode of a value inconsistent with the crumbs
+        // fails fast instead of wandering.
+        let (bogus, _) =
+            decoder.decode_with_crumbs(at, v ^ 0xF0F0, enc.cold_sites(), enc.crumbs());
+        assert!(!matches!(bogus, BreadcrumbsOutcome::Unique(_)));
+    }
+
+    #[test]
+    fn inverse_of_three_is_correct() {
+        assert_eq!(3u64.wrapping_mul(0xAAAA_AAAA_AAAA_AAAB), 1);
+    }
+}

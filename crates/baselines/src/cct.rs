@@ -1,0 +1,197 @@
+//! Dynamic calling-context tree (Ammons/Ball/Larus-style), the classic
+//! alternative representation the paper's related-work section contrasts
+//! with encoding: precise and decodable, but with per-call tree-walking
+//! cost and memory proportional to the number of distinct contexts.
+
+use std::collections::HashMap;
+
+use deltapath_ir::{MethodId, SiteId};
+use deltapath_runtime::{Capture, ContextEncoder, OpCounts};
+
+/// One CCT node: a method reached through a specific ancestor chain.
+#[derive(Clone, Debug)]
+struct CctNode {
+    method: MethodId,
+    parent: Option<usize>,
+    children: HashMap<(SiteId, MethodId), usize>,
+}
+
+/// The calling-context-tree encoder: the current context is a node in a
+/// growing tree; observation captures the node index.
+#[derive(Clone, Debug)]
+pub struct CctEncoder {
+    nodes: Vec<CctNode>,
+    current: usize,
+    counts: OpCounts,
+    pending_site: Option<SiteId>,
+}
+
+impl CctEncoder {
+    /// Creates an empty tree (rooted on the first `thread_start`).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![CctNode {
+                method: MethodId::from_index(0),
+                parent: None,
+                children: HashMap::new(),
+            }],
+            current: 0,
+            counts: OpCounts::default(),
+            pending_site: None,
+        }
+    }
+
+    /// Number of materialized tree nodes — the CCT's memory footprint, one
+    /// of the costs encoding techniques avoid.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Reconstructs the method path from the root to `node` (the CCT's
+    /// "decoding").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn path_of(&self, node: usize) -> Vec<MethodId> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(ix) = cur {
+            path.push(self.nodes[ix].method);
+            cur = self.nodes[ix].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+impl Default for CctEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextEncoder for CctEncoder {
+    type CallToken = ();
+    /// The node to return to at exit.
+    type EntryToken = usize;
+
+    fn thread_start(&mut self, entry: MethodId) {
+        self.nodes.clear();
+        self.nodes.push(CctNode {
+            method: entry,
+            parent: None,
+            children: HashMap::new(),
+        });
+        self.current = 0;
+        self.pending_site = None;
+    }
+
+    fn on_call(&mut self, site: SiteId) {
+        self.pending_site = Some(site);
+    }
+
+    fn on_return(&mut self, _site: SiteId, _token: ()) {}
+
+    fn on_entry(&mut self, method: MethodId, via_site: Option<SiteId>) -> usize {
+        let saved = self.current;
+        let site = via_site
+            .or(self.pending_site)
+            .unwrap_or(SiteId::from_index(u32::MAX as usize));
+        self.counts.cct_moves += 1;
+        let next_index = self.nodes.len();
+        let entry = self.nodes[self.current]
+            .children
+            .entry((site, method))
+            .or_insert(next_index);
+        let child = *entry;
+        if child == next_index {
+            self.nodes.push(CctNode {
+                method,
+                parent: Some(self.current),
+                children: HashMap::new(),
+            });
+        }
+        self.current = child;
+        saved
+    }
+
+    fn on_exit(&mut self, _method: MethodId, saved: usize) {
+        self.counts.cct_moves += 1;
+        self.current = saved;
+    }
+
+    fn observe(&mut self, _at: MethodId) -> Capture {
+        Capture::CctNode(self.current)
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn name(&self) -> &'static str {
+        "cct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+    fn s(i: usize) -> SiteId {
+        SiteId::from_index(i)
+    }
+
+    #[test]
+    fn builds_tree_and_reuses_nodes() {
+        let mut e = CctEncoder::new();
+        e.thread_start(m(0));
+        // Call m1 via s0 twice: one child node, reused.
+        for _ in 0..2 {
+            e.on_call(s(0));
+            let t = e.on_entry(m(1), Some(s(0)));
+            e.on_exit(m(1), t);
+        }
+        assert_eq!(e.node_count(), 2);
+        // Same method via a different site: a distinct node.
+        e.on_call(s(1));
+        let t = e.on_entry(m(1), Some(s(1)));
+        assert_eq!(e.node_count(), 3);
+        assert_eq!(e.path_of(2), vec![m(0), m(1)]);
+        e.on_exit(m(1), t);
+    }
+
+    #[test]
+    fn observe_distinguishes_contexts() {
+        let mut e = CctEncoder::new();
+        e.thread_start(m(0));
+        e.on_call(s(0));
+        let t1 = e.on_entry(m(1), Some(s(0)));
+        let c1 = e.observe(m(1));
+        e.on_call(s(2));
+        let t2 = e.on_entry(m(2), Some(s(2)));
+        let c2 = e.observe(m(2));
+        assert_ne!(c1, c2);
+        e.on_exit(m(2), t2);
+        e.on_exit(m(1), t1);
+        assert_eq!(e.observe(m(0)), Capture::CctNode(0));
+    }
+
+    #[test]
+    fn path_reconstruction_matches_entries() {
+        let mut e = CctEncoder::new();
+        e.thread_start(m(9));
+        e.on_call(s(0));
+        let t1 = e.on_entry(m(4), Some(s(0)));
+        e.on_call(s(1));
+        let _t2 = e.on_entry(m(7), Some(s(1)));
+        let Capture::CctNode(n) = e.observe(m(7)) else {
+            unreachable!()
+        };
+        assert_eq!(e.path_of(n), vec![m(9), m(4), m(7)]);
+        let _ = t1;
+    }
+}

@@ -1,0 +1,35 @@
+//! # deltapath-baselines
+//!
+//! Baseline calling-context techniques the DeltaPath paper compares against,
+//! implemented over the same interpreter hooks
+//! ([`ContextEncoder`](deltapath_runtime::ContextEncoder)) so that all
+//! techniques run on identical executions:
+//!
+//! * [`PccEncoder`] — probabilistic calling context (Bond & McKinley):
+//!   `V' = 3V + cs` per call site. The paper's primary comparison
+//!   (Figure 8, Table 2). Cheap, object-oriented-friendly, but hash-based
+//!   and therefore collision-prone and undecodable.
+//! * [`BreadcrumbsEncoder`] — Breadcrumbs-lite: PCC plus recording at cold
+//!   call sites and an expensive offline search-based decoder, reproducing
+//!   the cost/accuracy trade-off the paper criticizes.
+//! * [`CctEncoder`] — a dynamic calling-context tree: precise and decodable
+//!   but with per-call tree navigation and memory growth.
+//!
+//! (Stack walking lives in `deltapath-runtime` as
+//! [`StackWalkEncoder`](deltapath_runtime::StackWalkEncoder), doubling as
+//! the experiments' ground truth.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breadcrumbs;
+mod cct;
+mod hybrid;
+mod pcc;
+
+pub use breadcrumbs::{BreadcrumbsDecoder, BreadcrumbsEncoder, BreadcrumbsOutcome};
+pub use cct::CctEncoder;
+pub use hybrid::{
+    HybridCallToken, HybridDecoder, HybridDictionary, HybridEncoder, HybridEntryToken, HybridPlan,
+};
+pub use pcc::{PccEncoder, PccWidth};

@@ -1,0 +1,220 @@
+//! Probabilistic calling context (Bond & McKinley, OOPSLA 2007) — the
+//! state-of-the-art baseline the paper compares against.
+//!
+//! PCC maintains one thread-local value `V` and computes `V' = 3·V + cs` at
+//! every instrumented call site (`cs` is a per-site constant), saving and
+//! restoring `V` around the call. The value at any point is a probabilistically
+//! unique hash of the current calling context: encoding is extremely cheap,
+//! but there is no decoding, and distinct contexts can collide — exactly the
+//! trade-off DeltaPath addresses.
+//!
+//! For a head-to-head comparison the encoder instruments the same call-site
+//! set as a DeltaPath [`EncodingPlan`] (the paper does the same: "we adopt
+//! the encoding-application setting for DeltaPath to instrument the same set
+//! of functions").
+
+use std::collections::HashSet;
+
+use deltapath_core::EncodingPlan;
+use deltapath_ir::{MethodId, SiteId};
+use deltapath_runtime::{Capture, ContextEncoder, OpCounts};
+
+/// The hash width PCC truncates its value to.
+///
+/// Bond & McKinley use 32-bit values on 32-bit platforms and 64-bit values
+/// on 64-bit platforms; smaller widths make collisions measurable at small
+/// context counts (useful in tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PccWidth {
+    /// 16-bit values (testing: collisions appear at ~300 contexts).
+    Bits16,
+    /// 32-bit values (the paper's primary setting).
+    Bits32,
+    /// 64-bit values.
+    Bits64,
+}
+
+impl PccWidth {
+    fn mask(self) -> u64 {
+        match self {
+            PccWidth::Bits16 => 0xFFFF,
+            PccWidth::Bits32 => 0xFFFF_FFFF,
+            PccWidth::Bits64 => u64::MAX,
+        }
+    }
+}
+
+/// All call sites whose caller is instrumented by `plan`.
+fn program_sites_of_plan(plan: &EncodingPlan) -> HashSet<SiteId> {
+    // The plan records a SiteInstr for every site in an instrumented
+    // caller; sweep the id space the graph knows about plus the plan's own
+    // site table via instrumented_sites ∪ CPT-only sites.
+    let mut sites: HashSet<SiteId> = plan.graph().instrumented_sites().into_iter().collect();
+    sites.extend(plan.cpt_site_ids());
+    sites
+}
+
+/// The PCC encoder.
+#[derive(Clone, Debug)]
+pub struct PccEncoder {
+    sites: HashSet<SiteId>,
+    width: PccWidth,
+    v: u64,
+    counts: OpCounts,
+}
+
+impl PccEncoder {
+    /// Instruments exactly the given call sites.
+    pub fn new(sites: HashSet<SiteId>, width: PccWidth) -> Self {
+        Self {
+            sites,
+            width,
+            v: 0,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// Instruments the same call sites as `plan`: every site inside an
+    /// instrumented method — the paper's head-to-head setup ("both
+    /// instrument the same set of call sites with simple arithmetic
+    /// operations"). This includes sites DeltaPath covers only through
+    /// call-path tracking (no ID arithmetic): PCC has no static analysis
+    /// and hashes unconditionally.
+    pub fn from_plan(plan: &EncodingPlan, width: PccWidth) -> Self {
+        let sites = program_sites_of_plan(plan);
+        Self::new(sites, width)
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.v
+    }
+
+    /// The per-site constant mixed into the hash: a splitmix64 scramble of
+    /// the site id, as a stand-in for the call-site address the original
+    /// uses.
+    pub fn site_constant(site: SiteId) -> u64 {
+        let mut z = u64::from(site.as_u32()).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl ContextEncoder for PccEncoder {
+    /// The caller-saved `V`.
+    type CallToken = Option<u64>;
+    type EntryToken = ();
+
+    fn thread_start(&mut self, _entry: MethodId) {
+        self.v = 0;
+    }
+
+    fn on_call(&mut self, site: SiteId) -> Option<u64> {
+        if !self.sites.contains(&site) {
+            return None;
+        }
+        let saved = self.v;
+        self.counts.hashes += 1;
+        self.v = self
+            .v
+            .wrapping_mul(3)
+            .wrapping_add(Self::site_constant(site))
+            & self.width.mask();
+        Some(saved)
+    }
+
+    fn on_return(&mut self, _site: SiteId, token: Option<u64>) {
+        if let Some(saved) = token {
+            self.v = saved;
+        }
+    }
+
+    fn on_entry(&mut self, _method: MethodId, _via_site: Option<SiteId>) {}
+    fn on_exit(&mut self, _method: MethodId, _token: ()) {}
+
+    fn observe(&mut self, _at: MethodId) -> Capture {
+        Capture::Pcc(self.v)
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn name(&self) -> &'static str {
+        "pcc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SiteId {
+        SiteId::from_index(i)
+    }
+    fn m(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+
+    #[test]
+    fn hash_updates_and_restores() {
+        let sites: HashSet<SiteId> = [s(0), s(1)].into_iter().collect();
+        let mut e = PccEncoder::new(sites, PccWidth::Bits64);
+        e.thread_start(m(0));
+        let t0 = e.on_call(s(0));
+        let v1 = e.value();
+        assert_ne!(v1, 0);
+        let t1 = e.on_call(s(1));
+        assert_ne!(e.value(), v1);
+        e.on_return(s(1), t1);
+        assert_eq!(e.value(), v1);
+        e.on_return(s(0), t0);
+        assert_eq!(e.value(), 0);
+        assert_eq!(e.counts().hashes, 2);
+    }
+
+    #[test]
+    fn different_paths_usually_hash_differently() {
+        let sites: HashSet<SiteId> = (0..4).map(s).collect();
+        let mut e = PccEncoder::new(sites.clone(), PccWidth::Bits64);
+        e.thread_start(m(0));
+        e.on_call(s(0));
+        e.on_call(s(1));
+        let a = e.value();
+        let mut e2 = PccEncoder::new(sites, PccWidth::Bits64);
+        e2.thread_start(m(0));
+        e2.on_call(s(0));
+        e2.on_call(s(2));
+        assert_ne!(a, e2.value());
+    }
+
+    #[test]
+    fn uninstrumented_sites_are_ignored() {
+        let mut e = PccEncoder::new(HashSet::new(), PccWidth::Bits32);
+        e.thread_start(m(0));
+        let t = e.on_call(s(9));
+        assert_eq!(e.value(), 0);
+        assert!(t.is_none());
+        e.on_return(s(9), t);
+        assert_eq!(e.counts().hashes, 0);
+    }
+
+    #[test]
+    fn width_truncates() {
+        let sites: HashSet<SiteId> = [s(0)].into_iter().collect();
+        let mut e = PccEncoder::new(sites, PccWidth::Bits16);
+        e.thread_start(m(0));
+        e.on_call(s(0));
+        assert!(e.value() <= 0xFFFF);
+    }
+
+    #[test]
+    fn observe_captures_value() {
+        let sites: HashSet<SiteId> = [s(0)].into_iter().collect();
+        let mut e = PccEncoder::new(sites, PccWidth::Bits64);
+        e.thread_start(m(0));
+        e.on_call(s(0));
+        assert_eq!(e.observe(m(1)), Capture::Pcc(e.value()));
+    }
+}

@@ -1,0 +1,82 @@
+//! Static-analysis cost: how long call-graph construction and Algorithm 2
+//! take as the program scales, and the extra cost of the anchor restart
+//! loop at narrow widths.
+
+use std::collections::HashSet;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltapath_callgraph::{back_edges, Analysis, CallGraph, GraphConfig};
+use deltapath_core::{Algo2Config, Encoding, EncodingPlan, EncodingWidth, PlanConfig};
+use deltapath_workloads::synthetic::{generate, SyntheticConfig};
+
+fn scaled_program(scale: usize) -> deltapath_ir::Program {
+    generate(&SyntheticConfig {
+        name: format!("scale{scale}"),
+        layers: 6 + scale,
+        methods_per_layer: 4 * scale,
+        lib_methods_per_layer: 3 * scale,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("callgraph_build");
+    for scale in [1usize, 2, 4] {
+        let p = scaled_program(scale);
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &p, |b, p| {
+            b.iter(|| CallGraph::build(black_box(p), &GraphConfig::new(Analysis::Cha)));
+        });
+    }
+    group.finish();
+}
+
+fn algorithm2_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2");
+    for scale in [1usize, 2, 4] {
+        let p = scaled_program(scale);
+        let graph = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        let info = back_edges(&graph);
+        let excluded: HashSet<_> = info.back_edges.iter().copied().collect();
+        group.bench_with_input(
+            BenchmarkId::new("u64", format!("{}nodes", graph.node_count())),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    Encoding::analyze(
+                        black_box(g),
+                        &excluded,
+                        &Algo2Config::new(EncodingWidth::U64)
+                            .with_forced_anchors(info.headers.clone()),
+                    )
+                    .expect("analysis")
+                });
+            },
+        );
+        // A narrow width exercises the overflow restart loop.
+        group.bench_with_input(
+            BenchmarkId::new("w12_restarts", format!("{}nodes", graph.node_count())),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    Encoding::analyze(
+                        black_box(g),
+                        &excluded,
+                        &Algo2Config::new(EncodingWidth::new(12))
+                            .with_forced_anchors(info.headers.clone()),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn full_plan(c: &mut Criterion) {
+    let p = scaled_program(2);
+    c.bench_function("plan_analyze_full", |b| {
+        b.iter(|| EncodingPlan::analyze(black_box(&p), &PlanConfig::default()).expect("plan"));
+    });
+}
+
+criterion_group!(benches, graph_construction, algorithm2_analysis, full_plan);
+criterion_main!(benches);

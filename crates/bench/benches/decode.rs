@@ -1,0 +1,94 @@
+//! Decode latency: DeltaPath's deterministic walk vs the Breadcrumbs-style
+//! offline search — the paper's central qualitative claim ("deterministic
+//! and instant decoding" vs seconds per context).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltapath_baselines::{BreadcrumbsDecoder, PccEncoder, PccWidth};
+use deltapath_core::{EncodingPlan, PlanConfig};
+use deltapath_runtime::{Capture, CollectMode, DeltaEncoder, EventLog, Vm, VmConfig};
+use deltapath_workloads::synthetic::{generate, SyntheticConfig};
+
+/// A program with deep contexts for decode benchmarks.
+fn deep_program(layers: usize) -> deltapath_ir::Program {
+    generate(&SyntheticConfig {
+        name: format!("deep{layers}"),
+        layers,
+        methods_per_layer: 4,
+        lib_families: 0,
+        lib_methods_per_layer: 0,
+        cross_scope_prob: 0.0,
+        dynamic_subclass_prob: 0.0,
+        recursion_prob: 0.0,
+        observe_events: 1,
+        main_loop_iters: 1,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// Collects one observed DeltaPath context and one PCC value from the same
+/// observation point.
+fn collect(
+    p: &deltapath_ir::Program,
+    plan: &EncodingPlan,
+) -> (deltapath_core::EncodedContext, u64, deltapath_ir::MethodId) {
+    let mut vm = Vm::new(p, VmConfig::default().with_collect(CollectMode::ObservesOnly));
+    let mut enc = DeltaEncoder::new(plan);
+    let mut log = EventLog::default();
+    vm.run(&mut enc, &mut log).expect("run");
+    let (_, at, capture) = log.events.last().expect("an observation").clone();
+    let Capture::Delta(ctx) = capture else {
+        unreachable!()
+    };
+    let mut vm = Vm::new(p, VmConfig::default().with_collect(CollectMode::ObservesOnly));
+    let mut pcc = PccEncoder::from_plan(plan, PccWidth::Bits64);
+    let mut log = EventLog::default();
+    vm.run(&mut pcc, &mut log).expect("run");
+    let Capture::Pcc(v) = log.events.last().expect("an observation").2 else {
+        unreachable!()
+    };
+    (ctx, v, at)
+}
+
+fn decode_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for layers in [6usize, 10, 14] {
+        let p = deep_program(layers);
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).expect("plan");
+        let (ctx, pcc_value, at) = collect(&p, &plan);
+
+        group.bench_with_input(
+            BenchmarkId::new("deltapath_walk", layers),
+            &ctx,
+            |b, ctx| {
+                let decoder = plan.decoder();
+                b.iter(|| decoder.decode(black_box(ctx)).expect("decodes"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("breadcrumbs_search", layers),
+            &pcc_value,
+            |b, &v| {
+                let decoder = BreadcrumbsDecoder::new(&plan, PccWidth::Bits64);
+                b.iter(|| decoder.decode(black_box(at), black_box(v)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn snapshot_and_decode(c: &mut Criterion) {
+    // End-to-end: capture + decode, the "online decoding" use case.
+    let p = deep_program(10);
+    let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).expect("plan");
+    let (ctx, _, _) = collect(&p, &plan);
+    c.bench_function("decode/clone_and_decode", |b| {
+        let decoder = plan.decoder();
+        b.iter(|| {
+            let snapshot = ctx.clone();
+            decoder.decode(black_box(&snapshot)).expect("decodes")
+        });
+    });
+}
+
+criterion_group!(benches, decode_latency, snapshot_and_decode);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation A4 (ours): the cost of call-path tracking and how much of it
+//! the paper's Section 8 optimization recovers.
+//!
+//! Compares DeltaPath overhead (metered, encoding-application setting) in
+//! three tracking configurations per benchmark:
+//!
+//! * **off** — no tracking at all (unsound under dynamic loading /
+//!   selective encoding; Figure 8's "wo/CPT");
+//! * **full** — every site saves the expectation, every entry checks
+//!   (Figure 8's "w/CPT");
+//! * **minimal** — fixed-target calls skip the save, methods reachable only
+//!   through them skip the check (the paper's "calls to private, static or
+//!   final functions do not need to be tracked").
+
+use deltapath_bench::harness::geomean;
+use deltapath_bench::table::Table;
+use deltapath_callgraph::ScopeFilter;
+use deltapath_core::{EncodingPlan, PlanConfig};
+use deltapath_runtime::{
+    ContextEncoder, CostModel, DeltaEncoder, NullCollector, NullEncoder, Vm, VmConfig,
+};
+use deltapath_workloads::specjvm::suite;
+
+fn main() {
+    println!("Ablation A4: call-path tracking cost — off vs minimal vs full\n");
+    let model = CostModel::default();
+    let mut table = Table::new(&[
+        "program",
+        "speed off",
+        "speed minimal",
+        "speed full",
+        "saves full",
+        "saves minimal",
+        "checks full",
+        "checks minimal",
+    ]);
+    let base = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
+    let mut speeds: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for bench in suite() {
+        let program = bench.program();
+        let configs = [
+            ("off", base.clone().with_cpt(false)),
+            ("minimal", base.clone().with_cpt_minimal()),
+            ("full", base.clone()),
+        ];
+        let mut row = vec![bench.name.to_owned()];
+        let mut counts = Vec::new();
+        let mut base_cost = 0u64;
+        for (i, (_, config)) in configs.iter().enumerate() {
+            let plan = EncodingPlan::analyze(&program, config).expect("plan");
+            let mut vm = Vm::new(&program, VmConfig::default());
+            if base_cost == 0 {
+                let native = vm.run(&mut NullEncoder, &mut NullCollector).expect("run");
+                base_cost = native.base_cost;
+                vm = Vm::new(&program, VmConfig::default());
+            }
+            let mut enc = DeltaEncoder::new(&plan);
+            vm.run(&mut enc, &mut NullCollector).expect("run");
+            let overhead = enc.counts().cost(&model) as f64;
+            let speed = base_cost as f64 / (base_cost as f64 + overhead);
+            speeds[i].push(speed);
+            row.push(format!("{speed:.3}"));
+            counts.push(enc.counts());
+        }
+        row.push(counts[2].pending_saves.to_string());
+        row.push(counts[1].pending_saves.to_string());
+        row.push(counts[2].sid_checks.to_string());
+        row.push(counts[1].sid_checks.to_string());
+        table.row(row);
+        eprintln!("done: {}", bench.name);
+    }
+    println!("{}", table.render());
+    println!(
+        "geomean speed: off {:.3}   minimal {:.3}   full {:.3}",
+        geomean(&speeds[0]),
+        geomean(&speeds[1]),
+        geomean(&speeds[2])
+    );
+    println!(
+        "CPT cost recovered by the Section 8 optimization: {:.1}% of {:.1}%",
+        (geomean(&speeds[1]) / geomean(&speeds[2]) - 1.0) * 100.0,
+        (geomean(&speeds[0]) / geomean(&speeds[2]) - 1.0) * 100.0
+    );
+}

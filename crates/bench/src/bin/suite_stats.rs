@@ -1,0 +1,48 @@
+//! Quick dynamic probe of the SPECjvm-like suite: dynamic call counts,
+//! context depths and event volumes per benchmark under the native encoder.
+//! Used to calibrate the workload configurations; also a handy sanity check
+//! that every benchmark terminates within its budget.
+
+use deltapath_bench::table::{sci, Table};
+use deltapath_runtime::{CollectMode, ContextStats, NullEncoder, Vm, VmConfig};
+use deltapath_workloads::specjvm::suite;
+
+fn main() {
+    let mut table = Table::new(&[
+        "program", "calls", "entries", "max dep", "avg dep", "observes", "dyn loads",
+    ]);
+    for bench in suite() {
+        let program = bench.program();
+        let mut vm = Vm::new(
+            &program,
+            VmConfig::default()
+                .with_collect(CollectMode::Entries)
+                .with_max_calls(50_000_000),
+        );
+        let mut stats = ContextStats::new();
+        let row = match vm.run(&mut NullEncoder, &mut stats) {
+            Ok(run) => vec![
+                bench.name.to_owned(),
+                sci(u128::from(run.calls)),
+                sci(u128::from(run.entries_collected)),
+                stats.max_depth.to_string(),
+                format!("{:.1}", stats.avg_depth()),
+                run.observes.to_string(),
+                run.dynamic_loads.to_string(),
+            ],
+            Err(e) => vec![
+                bench.name.to_owned(),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        };
+        table.row(row);
+        // Stream rows as they finish (long benchmarks print late).
+        eprintln!("done: {}", bench.name);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's Table 1: static program characteristics of the
+//! SPECjvm2008-like suite under the *encoding-all* and
+//! *encoding-application* settings.
+//!
+//! For each benchmark and setting: call-graph nodes and edges, instrumented
+//! call sites (CS), virtual call sites (VCS), the static maximum encoding
+//! ID (the encoding space needed), and the number of anchor nodes
+//! Algorithm 2 adds to fit 64-bit (and, additionally to the paper, 32-bit)
+//! integers.
+
+use deltapath_bench::harness::static_characteristics;
+use deltapath_bench::table::{sci, Table};
+use deltapath_callgraph::ScopeFilter;
+use deltapath_workloads::specjvm::suite;
+
+fn main() {
+    println!("Table 1: static program characteristics (SPECjvm2008-like suite)\n");
+    let mut all = Table::new(&[
+        "program", "size", "nodes", "edges", "CS", "VCS", "max. ID", "anch@64", "anch@32",
+    ]);
+    let mut app = Table::new(&[
+        "program", "size", "nodes", "edges", "CS", "VCS", "max. ID", "anch@64", "anch@32",
+    ]);
+    for bench in suite() {
+        let program = bench.program();
+        // The paper reports class-file bytes; the analog here is the size of
+        // the textual program listing.
+        let size = format!("{}K", program.to_string().len() / 1024);
+        for (scope, table) in [
+            (ScopeFilter::All, &mut all),
+            (ScopeFilter::ApplicationOnly, &mut app),
+        ] {
+            let row = static_characteristics(&program, scope);
+            table.row(vec![
+                bench.name.to_owned(),
+                size.clone(),
+                row.nodes.to_string(),
+                row.edges.to_string(),
+                row.call_sites.to_string(),
+                row.virtual_call_sites.to_string(),
+                sci(row.max_id),
+                row.anchors_at_64.to_string(),
+                row.anchors_at_32.to_string(),
+            ]);
+        }
+    }
+    println!("encoding-all:\n{}", all.render());
+    println!("encoding-application:\n{}", app.render());
+}

@@ -1,0 +1,226 @@
+//! Shared measurement harness for the table/figure binaries.
+
+use std::collections::HashSet;
+
+use deltapath_baselines::{PccEncoder, PccWidth};
+use deltapath_callgraph::{back_edges, Analysis, CallGraph, GraphConfig, GraphStats, ScopeFilter};
+use deltapath_core::{Algo2Config, Encoding, EncodingPlan, EncodingWidth, PlanConfig};
+use deltapath_ir::Program;
+use deltapath_runtime::{
+    CollectMode, ContextStats, CostModel, DeltaEncoder, NullEncoder, RunStats, Vm, VmConfig,
+};
+
+/// Static characteristics of one benchmark under one encoding setting
+/// (one half of a Table 1 row).
+#[derive(Clone, Debug)]
+pub struct StaticRow {
+    /// Call-graph nodes.
+    pub nodes: usize,
+    /// Call edges.
+    pub edges: usize,
+    /// Instrumented call sites (CS).
+    pub call_sites: usize,
+    /// Virtual call sites among them (VCS).
+    pub virtual_call_sites: usize,
+    /// The static maximum encoding ID (the encoding space needed, measured
+    /// at unbounded width).
+    pub max_id: u128,
+    /// Anchor nodes Algorithm 2 adds to fit a 64-bit integer.
+    pub anchors_at_64: usize,
+    /// Anchor nodes Algorithm 2 adds to fit a 32-bit integer.
+    pub anchors_at_32: usize,
+}
+
+/// Computes the static characteristics of `program` under `scope`.
+pub fn static_characteristics(program: &Program, scope: ScopeFilter) -> StaticRow {
+    let graph = CallGraph::build(
+        program,
+        &GraphConfig {
+            analysis: Analysis::Cha,
+            scope,
+            include_dynamic: false,
+        },
+    );
+    let stats = GraphStats::compute(program, &graph);
+    let info = back_edges(&graph);
+    let excluded: HashSet<_> = info.back_edges.iter().copied().collect();
+
+    let at_width = |width: EncodingWidth, batch: bool| -> Encoding {
+        let mut config = Algo2Config::new(width).with_forced_anchors(info.headers.clone());
+        if batch {
+            config = config.with_batch_overflow();
+        }
+        Encoding::analyze(&graph, &excluded, &config)
+            .expect("analysis succeeds at benchmark widths")
+    };
+    let unbounded = at_width(EncodingWidth::UNBOUNDED, false);
+    // Short-circuit: if the unbounded encoding space already fits a width,
+    // Algorithm 2 would add no anchors there — skip the (restart-heavy)
+    // narrow-width analyses entirely.
+    let max_id = unbounded.required_max_id();
+    let anchors_at_64 = if EncodingWidth::U64.fits(max_id) {
+        0
+    } else {
+        // One-at-a-time placement: the paper-comparable anchor count.
+        at_width(EncodingWidth::U64, false).overflow_anchor_count()
+    };
+    let anchors_at_32 = if EncodingWidth::U32.fits(max_id) {
+        0
+    } else {
+        // Hundreds of anchors appear at 32 bits; batched placement keeps
+        // the sweep fast (counts are within ~2x of one-at-a-time).
+        at_width(EncodingWidth::U32, true).overflow_anchor_count()
+    };
+
+    StaticRow {
+        nodes: stats.nodes,
+        edges: stats.edges,
+        call_sites: stats.call_sites,
+        virtual_call_sites: stats.virtual_call_sites,
+        max_id,
+        anchors_at_64,
+        anchors_at_32,
+    }
+}
+
+/// The result of running one benchmark under one encoder.
+#[derive(Clone, Debug)]
+pub struct EncoderRun {
+    /// Technique name.
+    pub encoder: &'static str,
+    /// Interpreter statistics.
+    pub run: RunStats,
+    /// Weighted instrumentation overhead (abstract work units).
+    pub overhead: u64,
+    /// Collected context statistics (entries mode).
+    pub stats: ContextStats,
+}
+
+impl EncoderRun {
+    /// Execution speed normalized against native: `base / (base + overhead)`
+    /// — the y-axis of the paper's Figure 8.
+    pub fn normalized_speed(&self) -> f64 {
+        let base = self.run.base_cost as f64;
+        base / (base + self.overhead as f64)
+    }
+}
+
+/// Runs `program` under native, PCC, DeltaPath without CPT, and DeltaPath
+/// with CPT — the four configurations of Figure 8 — collecting the Table 2
+/// statistics along the way. Uses the paper's *encoding-application*
+/// setting.
+pub fn run_all_encoders(program: &Program, cost_model: &CostModel) -> Vec<EncoderRun> {
+    let plan_cpt = EncodingPlan::analyze(
+        program,
+        &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+    )
+    .expect("plan analysis");
+    let plan_nocpt = EncodingPlan::analyze(
+        program,
+        &PlanConfig::default()
+            .with_scope(ScopeFilter::ApplicationOnly)
+            .with_cpt(false),
+    )
+    .expect("plan analysis");
+
+    let vm_config = VmConfig::default().with_collect(CollectMode::Entries);
+    let mut results = Vec::new();
+
+    {
+        let mut vm = Vm::new(program, vm_config);
+        let mut enc = NullEncoder;
+        let mut stats = ContextStats::new();
+        let run = vm.run(&mut enc, &mut stats).expect("native run");
+        results.push(EncoderRun {
+            encoder: "native",
+            run,
+            overhead: 0,
+            stats,
+        });
+    }
+    {
+        let mut vm = Vm::new(program, vm_config);
+        let mut enc = PccEncoder::from_plan(&plan_cpt, PccWidth::Bits32);
+        let mut stats = ContextStats::new();
+        let run = vm.run(&mut enc, &mut stats).expect("pcc run");
+        results.push(EncoderRun {
+            encoder: "pcc",
+            run,
+            overhead: deltapath_runtime::ContextEncoder::counts(&enc).cost(cost_model),
+            stats,
+        });
+    }
+    {
+        let mut vm = Vm::new(program, vm_config);
+        let mut enc = DeltaEncoder::new(&plan_nocpt);
+        let mut stats = ContextStats::new();
+        let run = vm.run(&mut enc, &mut stats).expect("deltapath wo/cpt run");
+        results.push(EncoderRun {
+            encoder: "deltapath-nocpt",
+            run,
+            overhead: deltapath_runtime::ContextEncoder::counts(&enc).cost(cost_model),
+            stats,
+        });
+    }
+    {
+        let mut vm = Vm::new(program, vm_config);
+        let mut enc = DeltaEncoder::new(&plan_cpt);
+        let mut stats = ContextStats::new();
+        let run = vm.run(&mut enc, &mut stats).expect("deltapath w/cpt run");
+        results.push(EncoderRun {
+            encoder: "deltapath-cpt",
+            run,
+            overhead: deltapath_runtime::ContextEncoder::counts(&enc).cost(cost_model),
+            stats,
+        });
+    }
+    results
+}
+
+/// Geometric mean of a slice of positive numbers.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_workloads::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn static_characteristics_cover_both_scopes() {
+        let p = generate(&SyntheticConfig::default());
+        let all = static_characteristics(&p, ScopeFilter::All);
+        let app = static_characteristics(&p, ScopeFilter::ApplicationOnly);
+        assert!(all.nodes > app.nodes);
+        assert!(all.virtual_call_sites <= all.call_sites);
+        assert!(app.max_id <= all.max_id || app.max_id > 0);
+    }
+
+    #[test]
+    fn encoder_runs_have_expected_ordering() {
+        let p = generate(&SyntheticConfig::default());
+        let runs = run_all_encoders(&p, &CostModel::default());
+        assert_eq!(runs.len(), 4);
+        // All runs executed the identical program.
+        let calls: Vec<u64> = runs.iter().map(|r| r.run.calls).collect();
+        assert!(calls.windows(2).all(|w| w[0] == w[1]));
+        // Native has no overhead; CPT costs more than no-CPT.
+        assert_eq!(runs[0].overhead, 0);
+        let nocpt = runs.iter().find(|r| r.encoder == "deltapath-nocpt").unwrap();
+        let cpt = runs.iter().find(|r| r.encoder == "deltapath-cpt").unwrap();
+        assert!(cpt.overhead > nocpt.overhead);
+        assert!(cpt.normalized_speed() < 1.0);
+        assert!(nocpt.normalized_speed() > cpt.normalized_speed());
+    }
+
+    #[test]
+    fn geomean_is_correct() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+}

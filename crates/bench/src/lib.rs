@@ -1,0 +1,23 @@
+//! # deltapath-bench
+//!
+//! The benchmark harness regenerating the DeltaPath paper's evaluation:
+//!
+//! * `table1` (binary) — static program characteristics per benchmark and
+//!   encoding setting (paper Table 1);
+//! * `table2` (binary) — dynamic characteristics: contexts, depths, unique
+//!   encodings for PCC vs DeltaPath, stack depths, UCPs (paper Table 2);
+//! * `figure8` (binary) — normalized execution speed of PCC, DeltaPath
+//!   without and with call-path tracking (paper Figure 8);
+//! * `ablation_anchors` (binary) — anchors and max ID vs encoding width
+//!   (our ablation A1);
+//! * criterion benches `encoders`, `analysis`, `decode` — real wall-clock
+//!   per-operation costs used to calibrate the abstract cost model.
+//!
+//! This library crate holds the shared harness code (running a benchmark
+//! under every encoder, formatting tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;

@@ -1,0 +1,114 @@
+//! Plain-text table formatting for the harness binaries.
+
+/// Formats a number the way the paper's Table 1 does: small values exactly,
+/// large ones in short scientific notation (`7.8e7`), and values beyond
+/// `u128` saturation as a lower bound.
+pub fn sci(value: u128) -> String {
+    if value < 100_000 {
+        return value.to_string();
+    }
+    if value == u128::MAX {
+        return ">3.4e38".to_owned();
+    }
+    let v = value as f64;
+    let exp = v.log10().floor() as i32;
+    let mantissa = v / 10f64.powi(exp);
+    if (mantissa - mantissa.round()).abs() < 0.05 {
+        format!("{:.0}e{}", mantissa.round(), exp)
+    } else {
+        format!("{mantissa:.1}e{exp}")
+    }
+}
+
+/// A simple fixed-width table writer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    // Left-align the first column (names).
+                    line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats_like_the_paper() {
+        assert_eq!(sci(12), "12");
+        assert_eq!(sci(400_000), "4e5");
+        assert_eq!(sci(78_000_000), "7.8e7");
+        assert_eq!(sci(2_500_000_000), "2.5e9");
+        assert_eq!(sci(u128::MAX), ">3.4e38");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "x"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("name"));
+        assert!(r.lines().count() == 4);
+        // Numeric column right-aligned.
+        assert!(r.contains(" 1\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_length_is_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

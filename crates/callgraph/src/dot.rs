@@ -1,0 +1,70 @@
+//! Graphviz DOT export for call graphs.
+
+use std::fmt::Write as _;
+
+use deltapath_ir::Program;
+
+use crate::graph::CallGraph;
+
+impl CallGraph {
+    /// Renders the graph in Graphviz DOT syntax, with nodes labelled
+    /// `Class.method`. Roots are drawn with a double border.
+    pub fn to_dot(&self, program: &Program) -> String {
+        let mut out = String::from("digraph callgraph {\n  rankdir=TB;\n");
+        for node in self.nodes() {
+            let label = program.method_name(self.method_of(node));
+            let shape = if self.roots().contains(&node) {
+                "doubleoctagon"
+            } else {
+                "box"
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape={}];",
+                node.index(),
+                label,
+                shape
+            );
+        }
+        for edge in self.edges() {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                edge.caller.index(),
+                edge.callee.index(),
+                edge.site
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{Analysis, GraphConfig};
+    use crate::graph::CallGraph;
+    use deltapath_ir::{MethodKind, ProgramBuilder};
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let mut b = ProgramBuilder::new("dot");
+        let a = b.add_class("A", None);
+        b.method(a, "leaf", MethodKind::Static).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.call(a, "leaf");
+            })
+            .finish();
+        b.entry(main);
+        let p = b.finish().unwrap();
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        let dot = g.to_dot(&p);
+        assert!(dot.starts_with("digraph callgraph"));
+        assert!(dot.contains("A.main"));
+        assert!(dot.contains("A.leaf"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("doubleoctagon")); // the root
+    }
+}

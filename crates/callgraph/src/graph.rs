@@ -1,0 +1,336 @@
+//! The call-graph data structure.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use deltapath_ir::{MethodId, SiteId};
+
+/// Dense index of a node (method) within one [`CallGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIx(pub(crate) u32);
+
+impl NodeIx {
+    /// The dense index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node index from a dense position.
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("node index overflows u32"))
+    }
+}
+
+impl fmt::Debug for NodeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Dense index of an edge within one [`CallGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeIx(pub(crate) u32);
+
+impl EdgeIx {
+    /// The dense index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an edge index from a dense position.
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("edge index overflows u32"))
+    }
+}
+
+impl fmt::Debug for EdgeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A call edge: the paper's `<caller, callee, location>` triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// The calling method.
+    pub caller: NodeIx,
+    /// The invoked method.
+    pub callee: NodeIx,
+    /// The call site within the caller that produces this edge. Several
+    /// edges may share a site (virtual dispatch); several sites may connect
+    /// the same caller/callee pair.
+    pub site: SiteId,
+}
+
+/// An edge-labelled directed call graph over a subset of a program's methods.
+///
+/// Nodes are methods included by the construction configuration; edges carry
+/// the originating call site. The graph is append-only after construction.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    methods: Vec<MethodId>,
+    node_of_method: HashMap<MethodId, NodeIx>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeIx>>,
+    in_edges: Vec<Vec<EdgeIx>>,
+    /// Edges produced by each call site, in insertion order.
+    site_edges: HashMap<SiteId, Vec<EdgeIx>>,
+    entry: Option<NodeIx>,
+    /// Nodes with no incoming edges that are nevertheless invokable (the
+    /// entry, plus — under scope filtering — methods only called from
+    /// excluded code). These act as encoding roots.
+    roots: Vec<NodeIx>,
+    /// Nodes that statically visible out-of-scope code can call (including
+    /// ones also reachable in-graph): the potential hazardous-UCP entry
+    /// points under selective encoding. The plan may anchor them so their
+    /// pieces decode exactly.
+    ucp_entry_candidates: Vec<NodeIx>,
+}
+
+impl CallGraph {
+    /// Creates an empty graph. Use [`CallGraph::build`](crate::CallGraph::build)
+    /// for the normal path; this constructor serves tests and synthetic
+    /// graphs.
+    pub fn empty() -> Self {
+        Self {
+            methods: Vec::new(),
+            node_of_method: HashMap::new(),
+            edges: Vec::new(),
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+            site_edges: HashMap::new(),
+            entry: None,
+            roots: Vec::new(),
+            ucp_entry_candidates: Vec::new(),
+        }
+    }
+
+    /// Adds a node for `method`, returning the existing node if present.
+    pub fn add_node(&mut self, method: MethodId) -> NodeIx {
+        if let Some(&n) = self.node_of_method.get(&method) {
+            return n;
+        }
+        let n = NodeIx::from_index(self.methods.len());
+        self.methods.push(method);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        self.node_of_method.insert(method, n);
+        n
+    }
+
+    /// Adds an edge; duplicate `(caller, callee, site)` triples are ignored.
+    pub fn add_edge(&mut self, caller: NodeIx, callee: NodeIx, site: SiteId) -> EdgeIx {
+        if let Some(existing) = self.site_edges.get(&site) {
+            for &e in existing {
+                let edge = self.edges[e.index()];
+                if edge.caller == caller && edge.callee == callee {
+                    return e;
+                }
+            }
+        }
+        let e = EdgeIx::from_index(self.edges.len());
+        self.edges.push(Edge {
+            caller,
+            callee,
+            site,
+        });
+        self.out_edges[caller.index()].push(e);
+        self.in_edges[callee.index()].push(e);
+        self.site_edges.entry(site).or_default().push(e);
+        e
+    }
+
+    /// Declares the entry node (also recorded as a root).
+    pub fn set_entry(&mut self, node: NodeIx) {
+        self.entry = Some(node);
+        if !self.roots.contains(&node) {
+            self.roots.insert(0, node);
+        }
+    }
+
+    /// Records an additional encoding root (a node invokable from outside
+    /// the graph).
+    pub fn add_root(&mut self, node: NodeIx) {
+        if !self.roots.contains(&node) {
+            self.roots.push(node);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node indices.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeIx> + '_ {
+        (0..self.methods.len()).map(NodeIx::from_index)
+    }
+
+    /// All edges, indexed by [`EdgeIx`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given index.
+    pub fn edge(&self, e: EdgeIx) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// The method a node stands for.
+    pub fn method_of(&self, node: NodeIx) -> MethodId {
+        self.methods[node.index()]
+    }
+
+    /// The node for a method, if the method is in the graph.
+    pub fn node_of(&self, method: MethodId) -> Option<NodeIx> {
+        self.node_of_method.get(&method).copied()
+    }
+
+    /// Outgoing edge indices of `node`.
+    pub fn out_edges(&self, node: NodeIx) -> &[EdgeIx] {
+        &self.out_edges[node.index()]
+    }
+
+    /// Incoming edge indices of `node`.
+    pub fn in_edges(&self, node: NodeIx) -> &[EdgeIx] {
+        &self.in_edges[node.index()]
+    }
+
+    /// The edges a call site can dispatch along (its dispatch targets).
+    pub fn site_edges(&self, site: SiteId) -> &[EdgeIx] {
+        self.site_edges
+            .get(&site)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All call sites with at least one edge in the graph — the sites that
+    /// would be instrumented (the paper's *CS* column).
+    pub fn instrumented_sites(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.site_edges.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The entry node, if set.
+    pub fn entry(&self) -> Option<NodeIx> {
+        self.entry
+    }
+
+    /// All encoding roots (entry first).
+    pub fn roots(&self) -> &[NodeIx] {
+        &self.roots
+    }
+
+    /// Records a potential hazardous-UCP entry point (idempotent).
+    pub fn add_ucp_entry_candidate(&mut self, node: NodeIx) {
+        if !self.ucp_entry_candidates.contains(&node) {
+            self.ucp_entry_candidates.push(node);
+        }
+    }
+
+    /// Nodes that statically visible out-of-scope code can invoke.
+    pub fn ucp_entry_candidates(&self) -> &[NodeIx] {
+        &self.ucp_entry_candidates
+    }
+
+    /// Successor nodes of `node` (deduplicated, order of first occurrence).
+    pub fn successors(&self, node: NodeIx) -> Vec<NodeIx> {
+        let mut seen = Vec::new();
+        for &e in &self.out_edges[node.index()] {
+            let callee = self.edges[e.index()].callee;
+            if !seen.contains(&callee) {
+                seen.push(callee);
+            }
+        }
+        seen
+    }
+
+    /// Predecessor nodes of `node` (deduplicated, order of first occurrence).
+    pub fn predecessors(&self, node: NodeIx) -> Vec<NodeIx> {
+        let mut seen = Vec::new();
+        for &e in &self.in_edges[node.index()] {
+            let caller = self.edges[e.index()].caller;
+            if !seen.contains(&caller) {
+                seen.push(caller);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+    fn s(i: usize) -> SiteId {
+        SiteId::from_index(i)
+    }
+
+    #[test]
+    fn nodes_are_deduplicated() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let a2 = g.add_node(m(0));
+        assert_eq!(a, a2);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        let e1 = g.add_edge(a, b, s(0));
+        let e2 = g.add_edge(a, b, s(0));
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        // Same pair via a different site is a distinct edge.
+        g.add_edge(a, b, s(1));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn adjacency_and_site_maps_agree() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        let c = g.add_node(m(2));
+        g.add_edge(a, b, s(0));
+        g.add_edge(a, c, s(0)); // virtual site dispatching to b or c
+        g.add_edge(b, c, s(1));
+        assert_eq!(g.out_edges(a).len(), 2);
+        assert_eq!(g.in_edges(c).len(), 2);
+        assert_eq!(g.site_edges(s(0)).len(), 2);
+        assert_eq!(g.successors(a), vec![b, c]);
+        assert_eq!(g.predecessors(c), vec![a, b]);
+        assert_eq!(g.instrumented_sites(), vec![s(0), s(1)]);
+    }
+
+    #[test]
+    fn roots_keep_entry_first() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        g.add_root(b);
+        g.set_entry(a);
+        assert_eq!(g.roots(), &[a, b]);
+        assert_eq!(g.entry(), Some(a));
+        g.add_root(b); // idempotent
+        assert_eq!(g.roots().len(), 2);
+    }
+}

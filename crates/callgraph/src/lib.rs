@@ -1,0 +1,70 @@
+//! # deltapath-callgraph
+//!
+//! Call-graph construction and graph utilities for the DeltaPath calling
+//! context encoding reproduction.
+//!
+//! The original system used WALA's 0-CFA to build call graphs from Java
+//! bytecode. Over the [`deltapath_ir`] representation we provide the
+//! equivalent analyses:
+//!
+//! * [`Analysis::Cha`] — class-hierarchy analysis: a virtual site may reach
+//!   the resolved method of *every* subtype of its declared receiver class.
+//!   This over-approximates dispatch the way 0-CFA does on real bytecode and
+//!   is the default for the paper experiments.
+//! * [`Analysis::Exact`] — uses the receiver expressions recorded in the IR,
+//!   yielding the precise dynamic dispatch sets (useful as ground truth).
+//!
+//! A [`CallGraph`] is edge-labelled with call sites: an edge is the triple
+//! *(caller, callee, site)* exactly as in the paper's Algorithm 1, so two
+//! sites in one caller invoking the same callee remain distinct.
+//!
+//! Besides construction, the crate offers the graph machinery the encoding
+//! algorithms need: DFS back-edge classification (for recursion),
+//! topological ordering, reachability, per-graph statistics (Table 1
+//! columns) and DOT export.
+//!
+//! # Example
+//!
+//! ```
+//! use deltapath_ir::{MethodKind, ProgramBuilder, Receiver};
+//! use deltapath_callgraph::{Analysis, CallGraph, GraphConfig};
+//!
+//! let mut b = ProgramBuilder::new("cg");
+//! let a = b.add_class("A", None);
+//! let b2 = b.add_class("B", Some(a));
+//! b.method(a, "f", MethodKind::Virtual).finish();
+//! b.method(b2, "f", MethodKind::Virtual).finish();
+//! let main = b
+//!     .method(a, "main", MethodKind::Static)
+//!     .body(|f| {
+//!         f.vcall(a, "f", Receiver::Fixed(b2));
+//!     })
+//!     .finish();
+//! b.entry(main);
+//! let program = b.finish()?;
+//!
+//! // CHA sees both A.f and B.f as targets; Exact sees only B.f.
+//! let cha = CallGraph::build(&program, &GraphConfig::new(Analysis::Cha));
+//! let exact = CallGraph::build(&program, &GraphConfig::new(Analysis::Exact));
+//! assert_eq!(cha.edge_count(), 2);
+//! assert_eq!(exact.edge_count(), 1);
+//! # Ok::<(), deltapath_ir::ValidationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod dot;
+mod graph;
+mod reach;
+mod scc;
+mod stats;
+mod topo;
+
+pub use build::{Analysis, GraphConfig, ScopeFilter};
+pub use graph::{CallGraph, Edge, EdgeIx, NodeIx};
+pub use reach::{reachable_from, reaches_to};
+pub use scc::{back_edges, BackEdgeInfo, StronglyConnectedComponents};
+pub use stats::GraphStats;
+pub use topo::{topological_order, TopoError};

@@ -1,0 +1,126 @@
+//! Forward and backward reachability.
+
+use std::collections::HashSet;
+
+use crate::graph::{CallGraph, EdgeIx, NodeIx};
+
+/// Nodes reachable from any of `starts` following edges forward, ignoring
+/// `excluded` edges. The start nodes themselves are included.
+pub fn reachable_from(
+    graph: &CallGraph,
+    starts: &[NodeIx],
+    excluded: &HashSet<EdgeIx>,
+) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack: Vec<NodeIx> = Vec::new();
+    for &s in starts {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    while let Some(node) = stack.pop() {
+        for &e in graph.out_edges(node) {
+            if excluded.contains(&e) {
+                continue;
+            }
+            let t = graph.edge(e).callee;
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes from which any of `targets` is reachable (following edges forward;
+/// computed by walking backwards), ignoring `excluded` edges. Targets are
+/// included. Used by the pruned-encoding extension (paper Section 8) to find
+/// functions that can lead to a target function.
+pub fn reaches_to(graph: &CallGraph, targets: &[NodeIx], excluded: &HashSet<EdgeIx>) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack: Vec<NodeIx> = Vec::new();
+    for &t in targets {
+        if !seen[t.index()] {
+            seen[t.index()] = true;
+            stack.push(t);
+        }
+    }
+    while let Some(node) = stack.pop() {
+        for &e in graph.in_edges(node) {
+            if excluded.contains(&e) {
+                continue;
+            }
+            let p = graph.edge(e).caller;
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_ir::{MethodId, SiteId};
+
+    fn diamond() -> (CallGraph, Vec<NodeIx>) {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4
+        let mut g = CallGraph::empty();
+        let n: Vec<NodeIx> = (0..5).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        g.set_entry(n[0]);
+        g.add_edge(n[0], n[1], SiteId::from_index(0));
+        g.add_edge(n[0], n[2], SiteId::from_index(1));
+        g.add_edge(n[1], n[3], SiteId::from_index(2));
+        g.add_edge(n[2], n[3], SiteId::from_index(3));
+        g.add_edge(n[3], n[4], SiteId::from_index(4));
+        (g, n)
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let (g, n) = diamond();
+        let r = reachable_from(&g, &[n[1]], &HashSet::new());
+        assert!(!r[n[0].index()]);
+        assert!(r[n[1].index()]);
+        assert!(!r[n[2].index()]);
+        assert!(r[n[3].index()]);
+        assert!(r[n[4].index()]);
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let (g, n) = diamond();
+        let r = reaches_to(&g, &[n[3]], &HashSet::new());
+        assert!(r[n[0].index()]);
+        assert!(r[n[1].index()]);
+        assert!(r[n[2].index()]);
+        assert!(r[n[3].index()]);
+        assert!(!r[n[4].index()]);
+    }
+
+    #[test]
+    fn excluded_edges_block_traversal() {
+        let (g, n) = diamond();
+        // Exclude both edges into node 3.
+        let excluded: HashSet<EdgeIx> = [EdgeIx::from_index(2), EdgeIx::from_index(3)]
+            .into_iter()
+            .collect();
+        let r = reachable_from(&g, &[n[0]], &excluded);
+        assert!(r[n[1].index()]);
+        assert!(r[n[2].index()]);
+        assert!(!r[n[3].index()]);
+        assert!(!r[n[4].index()]);
+    }
+
+    #[test]
+    fn multiple_starts_union() {
+        let (g, n) = diamond();
+        let r = reachable_from(&g, &[n[1], n[2]], &HashSet::new());
+        assert!(r[n[1].index()] && r[n[2].index()] && r[n[3].index()] && r[n[4].index()]);
+        assert!(!r[n[0].index()]);
+    }
+}

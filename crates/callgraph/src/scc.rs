@@ -1,0 +1,264 @@
+//! Strongly connected components and back-edge classification.
+//!
+//! Recursion appears as cycles in the call graph. DeltaPath (following PCCE)
+//! divides recursive call paths into acyclic sub-paths; our implementation
+//! does so by removing DFS *back edges* and promoting their targets
+//! (recursion headers) to anchor nodes — see `deltapath-core`.
+
+use std::collections::HashSet;
+
+use crate::graph::{CallGraph, EdgeIx, NodeIx};
+
+/// The result of back-edge classification.
+#[derive(Clone, Debug, Default)]
+pub struct BackEdgeInfo {
+    /// Edges whose removal makes the graph acyclic (DFS retreating edges).
+    pub back_edges: Vec<EdgeIx>,
+    /// Targets of back edges: the recursion headers.
+    pub headers: Vec<NodeIx>,
+}
+
+impl BackEdgeInfo {
+    /// Whether `e` is classified as a back edge.
+    pub fn is_back_edge(&self, e: EdgeIx) -> bool {
+        self.back_edges.binary_search(&e).is_ok()
+    }
+}
+
+/// Classifies the back edges of `graph` by iterative depth-first search.
+///
+/// The DFS starts from the graph [`roots`](CallGraph::roots) and then from
+/// any still-unvisited node, so every edge is classified even in disconnected
+/// graphs. Removing exactly the returned edges yields an acyclic graph (the
+/// classical property of DFS back edges).
+pub fn back_edges(graph: &CallGraph) -> BackEdgeInfo {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let n = graph.node_count();
+    let mut color = vec![Color::White; n];
+    let mut back: Vec<EdgeIx> = Vec::new();
+    let mut headers: HashSet<NodeIx> = HashSet::new();
+
+    let mut starts: Vec<NodeIx> = graph.roots().to_vec();
+    starts.extend(graph.nodes());
+
+    for start in starts {
+        if color[start.index()] != Color::White {
+            continue;
+        }
+        // Iterative DFS: (node, index into its out-edge list).
+        let mut stack: Vec<(NodeIx, usize)> = vec![(start, 0)];
+        color[start.index()] = Color::Grey;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let outs = graph.out_edges(node);
+            if *next >= outs.len() {
+                color[node.index()] = Color::Black;
+                stack.pop();
+                continue;
+            }
+            let e = outs[*next];
+            *next += 1;
+            let target = graph.edge(e).callee;
+            match color[target.index()] {
+                Color::White => {
+                    color[target.index()] = Color::Grey;
+                    stack.push((target, 0));
+                }
+                Color::Grey => {
+                    back.push(e);
+                    headers.insert(target);
+                }
+                Color::Black => {}
+            }
+        }
+    }
+    back.sort_unstable();
+    let mut headers: Vec<NodeIx> = headers.into_iter().collect();
+    headers.sort_unstable();
+    BackEdgeInfo {
+        back_edges: back,
+        headers,
+    }
+}
+
+/// Tarjan's strongly connected components.
+#[derive(Clone, Debug)]
+pub struct StronglyConnectedComponents {
+    /// Component id per node.
+    pub component_of: Vec<usize>,
+    /// Nodes of each component.
+    pub components: Vec<Vec<NodeIx>>,
+}
+
+impl StronglyConnectedComponents {
+    /// Computes the SCCs of `graph` (iterative Tarjan).
+    pub fn compute(graph: &CallGraph) -> Self {
+        let n = graph.node_count();
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeIx> = Vec::new();
+        let mut next_index = 0usize;
+        let mut component_of = vec![UNSET; n];
+        let mut components: Vec<Vec<NodeIx>> = Vec::new();
+
+        for root in graph.nodes() {
+            if index[root.index()] != UNSET {
+                continue;
+            }
+            // Explicit call stack: (node, out-edge cursor).
+            let mut call: Vec<(NodeIx, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+                if *cursor == 0 {
+                    index[v.index()] = next_index;
+                    lowlink[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                }
+                let outs = graph.out_edges(v);
+                if *cursor < outs.len() {
+                    let w = graph.edge(outs[*cursor]).callee;
+                    *cursor += 1;
+                    if index[w.index()] == UNSET {
+                        call.push((w, 0));
+                    } else if on_stack[w.index()] {
+                        lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                    }
+                } else {
+                    if lowlink[v.index()] == index[v.index()] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w.index()] = false;
+                            component_of[w.index()] = components.len();
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        components.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        lowlink[parent.index()] =
+                            lowlink[parent.index()].min(lowlink[v.index()]);
+                    }
+                }
+            }
+        }
+        Self {
+            component_of,
+            components,
+        }
+    }
+
+    /// Whether `node` belongs to a non-trivial SCC (size > 1 or a self-loop
+    /// — the latter must be checked by the caller via edges).
+    pub fn in_nontrivial_component(&self, node: NodeIx) -> bool {
+        self.components[self.component_of[node.index()]].len() > 1
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether there are no components (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_ir::{MethodId, SiteId};
+
+    fn chain_with_cycle() -> CallGraph {
+        // 0 -> 1 -> 2 -> 1 (cycle), 2 -> 3
+        let mut g = CallGraph::empty();
+        let n: Vec<NodeIx> = (0..4).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        g.set_entry(n[0]);
+        g.add_edge(n[0], n[1], SiteId::from_index(0));
+        g.add_edge(n[1], n[2], SiteId::from_index(1));
+        g.add_edge(n[2], n[1], SiteId::from_index(2));
+        g.add_edge(n[2], n[3], SiteId::from_index(3));
+        g
+    }
+
+    #[test]
+    fn back_edge_found_in_cycle() {
+        let g = chain_with_cycle();
+        let info = back_edges(&g);
+        assert_eq!(info.back_edges.len(), 1);
+        let e = g.edge(info.back_edges[0]);
+        assert_eq!(e.caller, NodeIx::from_index(2));
+        assert_eq!(e.callee, NodeIx::from_index(1));
+        assert_eq!(info.headers, vec![NodeIx::from_index(1)]);
+        assert!(info.is_back_edge(info.back_edges[0]));
+    }
+
+    #[test]
+    fn self_loop_is_a_back_edge() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        g.set_entry(a);
+        g.add_edge(a, a, SiteId::from_index(0));
+        let info = back_edges(&g);
+        assert_eq!(info.back_edges.len(), 1);
+        assert_eq!(info.headers, vec![a]);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_back_edges() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        let c = g.add_node(MethodId::from_index(2));
+        g.set_entry(a);
+        g.add_edge(a, b, SiteId::from_index(0));
+        g.add_edge(a, c, SiteId::from_index(1));
+        g.add_edge(b, c, SiteId::from_index(2));
+        let info = back_edges(&g);
+        assert!(info.back_edges.is_empty());
+        assert!(info.headers.is_empty());
+    }
+
+    #[test]
+    fn tarjan_groups_cycle_nodes() {
+        let g = chain_with_cycle();
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert!(scc.in_nontrivial_component(NodeIx::from_index(1)));
+        assert!(scc.in_nontrivial_component(NodeIx::from_index(2)));
+        assert!(!scc.in_nontrivial_component(NodeIx::from_index(0)));
+        assert!(!scc.in_nontrivial_component(NodeIx::from_index(3)));
+        assert_eq!(scc.len(), 3);
+        assert_eq!(
+            scc.component_of[NodeIx::from_index(1).index()],
+            scc.component_of[NodeIx::from_index(2).index()]
+        );
+    }
+
+    #[test]
+    fn disconnected_nodes_are_still_classified() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        let c = g.add_node(MethodId::from_index(2));
+        g.set_entry(a);
+        // b <-> c unreachable from a.
+        g.add_edge(b, c, SiteId::from_index(0));
+        g.add_edge(c, b, SiteId::from_index(1));
+        let info = back_edges(&g);
+        assert_eq!(info.back_edges.len(), 1);
+        let scc = StronglyConnectedComponents::compute(&g);
+        assert_eq!(scc.len(), 2);
+    }
+}

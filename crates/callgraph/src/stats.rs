@@ -1,0 +1,70 @@
+//! Static graph statistics (the paper's Table 1 columns).
+
+use deltapath_ir::{CallKind, Program};
+
+use crate::graph::CallGraph;
+
+/// Static characteristics of one call graph: the per-benchmark columns of
+/// the paper's Table 1 (minus the encoding-space column, which the encoding
+/// algorithms report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of call-graph nodes (methods).
+    pub nodes: usize,
+    /// Number of call edges.
+    pub edges: usize,
+    /// Number of call sites to be instrumented (sites with at least one edge
+    /// in the graph).
+    pub call_sites: usize,
+    /// Number of virtual-dispatch call sites among `call_sites`.
+    pub virtual_call_sites: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics of `graph` (whose sites come from `program`).
+    pub fn compute(program: &Program, graph: &CallGraph) -> Self {
+        let sites = graph.instrumented_sites();
+        let virtual_call_sites = sites
+            .iter()
+            .filter(|&&s| program.site(s).kind() == CallKind::Virtual)
+            .count();
+        Self {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            call_sites: sites.len(),
+            virtual_call_sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{Analysis, GraphConfig};
+    use deltapath_ir::{MethodKind, ProgramBuilder, Receiver};
+
+    #[test]
+    fn counts_match_graph_content() {
+        let mut b = ProgramBuilder::new("stats");
+        let a = b.add_class("A", None);
+        let c1 = b.add_class("C1", Some(a));
+        b.method(a, "f", MethodKind::Virtual).finish();
+        b.method(c1, "f", MethodKind::Virtual).finish();
+        b.method(a, "g", MethodKind::Static).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(a, "f", Receiver::Cycle(vec![a, c1]));
+                f.call(a, "g");
+            })
+            .finish();
+        b.entry(main);
+        let p = b.finish().unwrap();
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        let s = GraphStats::compute(&p, &g);
+        assert_eq!(s.nodes, 4); // main, A.f, C1.f, A.g
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.call_sites, 2);
+        assert_eq!(s.virtual_call_sites, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Topological ordering with edge exclusion.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{CallGraph, EdgeIx, NodeIx};
+
+/// The graph still contains a cycle after excluding the given edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoError {
+    /// Number of nodes that could not be ordered.
+    pub unordered: usize,
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph is cyclic: {} node(s) remain unordered",
+            self.unordered
+        )
+    }
+}
+
+impl Error for TopoError {}
+
+/// Computes a topological order of `graph` ignoring `excluded` edges
+/// (typically the DFS back edges), using Kahn's algorithm.
+///
+/// The returned order visits a node only after all its (non-excluded)
+/// predecessors — the traversal order required by the paper's Algorithm 1
+/// and Algorithm 2 (line 5 / line 7: "for n ∈ N in topological order").
+///
+/// # Errors
+///
+/// Returns [`TopoError`] if cycles remain, which indicates the excluded set
+/// was not a valid back-edge set.
+pub fn topological_order(
+    graph: &CallGraph,
+    excluded: &HashSet<EdgeIx>,
+) -> Result<Vec<NodeIx>, TopoError> {
+    let n = graph.node_count();
+    let mut indegree = vec![0usize; n];
+    for (i, edge) in graph.edges().iter().enumerate() {
+        if excluded.contains(&EdgeIx::from_index(i)) {
+            continue;
+        }
+        indegree[edge.callee.index()] += 1;
+    }
+    let mut queue: Vec<NodeIx> = graph
+        .nodes()
+        .filter(|node| indegree[node.index()] == 0)
+        .collect();
+    // Deterministic order: process smallest index first.
+    queue.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(n);
+    while let Some(node) = queue.pop() {
+        order.push(node);
+        let mut newly_free: Vec<NodeIx> = Vec::new();
+        for &e in graph.out_edges(node) {
+            if excluded.contains(&e) {
+                continue;
+            }
+            let t = graph.edge(e).callee;
+            indegree[t.index()] -= 1;
+            if indegree[t.index()] == 0 {
+                newly_free.push(t);
+            }
+        }
+        newly_free.sort_unstable_by(|a, b| b.cmp(a));
+        // Keep the queue a sorted stack (largest last popped first is fine;
+        // determinism is what matters, not the specific tie-break).
+        queue.extend(newly_free);
+        queue.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    if order.len() != n {
+        return Err(TopoError {
+            unordered: n - order.len(),
+        });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::back_edges;
+    use deltapath_ir::{MethodId, SiteId};
+
+    #[test]
+    fn orders_a_dag() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        let c = g.add_node(MethodId::from_index(2));
+        g.set_entry(a);
+        g.add_edge(a, b, SiteId::from_index(0));
+        g.add_edge(b, c, SiteId::from_index(1));
+        g.add_edge(a, c, SiteId::from_index(2));
+        let order = topological_order(&g, &HashSet::new()).unwrap();
+        let pos = |n: NodeIx| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn cycle_without_exclusion_errors() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        g.set_entry(a);
+        g.add_edge(a, b, SiteId::from_index(0));
+        g.add_edge(b, a, SiteId::from_index(1));
+        assert!(topological_order(&g, &HashSet::new()).is_err());
+    }
+
+    #[test]
+    fn excluding_back_edges_recovers_order() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        let c = g.add_node(MethodId::from_index(2));
+        g.set_entry(a);
+        g.add_edge(a, b, SiteId::from_index(0));
+        g.add_edge(b, c, SiteId::from_index(1));
+        g.add_edge(c, b, SiteId::from_index(2)); // recursion
+        let info = back_edges(&g);
+        let excluded: HashSet<EdgeIx> = info.back_edges.iter().copied().collect();
+        let order = topological_order(&g, &excluded).unwrap();
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let build = || {
+            let mut g = CallGraph::empty();
+            let nodes: Vec<NodeIx> = (0..6)
+                .map(|i| g.add_node(MethodId::from_index(i)))
+                .collect();
+            g.set_entry(nodes[0]);
+            g.add_edge(nodes[0], nodes[2], SiteId::from_index(0));
+            g.add_edge(nodes[0], nodes[1], SiteId::from_index(1));
+            g.add_edge(nodes[1], nodes[3], SiteId::from_index(2));
+            g.add_edge(nodes[2], nodes[3], SiteId::from_index(3));
+            g.add_edge(nodes[3], nodes[4], SiteId::from_index(4));
+            g.add_edge(nodes[3], nodes[5], SiteId::from_index(5));
+            g
+        };
+        let o1 = topological_order(&build(), &HashSet::new()).unwrap();
+        let o2 = topological_order(&build(), &HashSet::new()).unwrap();
+        assert_eq!(o1, o2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Algorithm 1: encoding with dynamic dispatch (paper Section 3.1).
+//!
+//! Unlike PCCE, which assigns an addition value per *edge*, DeltaPath
+//! assigns a single addition value per *call site*, so a virtual call needs
+//! no dispatch-dependent switch. The price is an inflated encoding space:
+//! each node's contexts occupy `[0, ICC[n])` where the *inflated
+//! calling-context count* ICC may exceed the true context count NC.
+//!
+//! The invariant (paper Figure 2): for any node, its encoding space is
+//! divided into disjoint sub-ranges, one per incoming edge. It is maintained
+//! by tracking a *candidate addition value* `CAV[n]` per node: the addition
+//! value of a site is the maximum CAV over its dispatch targets, and every
+//! target's CAV is then raised to `ICC[caller] + av`.
+
+use std::collections::{HashMap, HashSet};
+
+use deltapath_callgraph::{topological_order, CallGraph, EdgeIx};
+use deltapath_ir::SiteId;
+
+use crate::error::EncodeError;
+
+/// The result of Algorithm 1 over an acyclic call graph.
+#[derive(Clone, Debug)]
+pub struct Algo1Encoding {
+    /// Inflated calling-context count per node: contexts ending at node `n`
+    /// are encoded within `[0, icc[n])`.
+    pub icc: Vec<u128>,
+    /// The single addition value of each processed call site.
+    pub site_av: HashMap<SiteId, u128>,
+    /// The largest ICC: the encoding space the program needs.
+    pub max_icc: u128,
+}
+
+impl Algo1Encoding {
+    /// Runs Algorithm 1 over `graph`, ignoring `excluded` (back) edges.
+    ///
+    /// Roots get ICC 1, matching `ICC[main] ← 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::NoRoots`] for an empty graph,
+    /// [`EncodeError::StillCyclic`] if cycles remain after exclusion.
+    pub fn analyze(graph: &CallGraph, excluded: &HashSet<EdgeIx>) -> Result<Self, EncodeError> {
+        if graph.node_count() == 0 || graph.roots().is_empty() {
+            return Err(EncodeError::NoRoots);
+        }
+        let order =
+            topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
+        let n = graph.node_count();
+        let mut cav = vec![0u128; n];
+        let mut icc = vec![0u128; n];
+        let mut site_av: HashMap<SiteId, u128> = HashMap::new();
+        let roots: HashSet<usize> = graph.roots().iter().map(|r| r.index()).collect();
+
+        for node in order {
+            for &e in graph.in_edges(node) {
+                if excluded.contains(&e) {
+                    continue;
+                }
+                let site = graph.edge(e).site;
+                if site_av.contains_key(&site) {
+                    continue; // One addition value per call site.
+                }
+                let av = calculate_increment(graph, excluded, &mut cav, &icc, site);
+                site_av.insert(site, av);
+            }
+            icc[node.index()] = if roots.contains(&node.index()) {
+                1
+            } else {
+                cav[node.index()]
+            };
+        }
+        let max_icc = icc.iter().copied().max().unwrap_or(0);
+        Ok(Self {
+            icc,
+            site_av,
+            max_icc,
+        })
+    }
+
+    /// Encodes a path of edges by summing the addition values of their
+    /// sites — exactly what the instrumented program computes at runtime.
+    pub fn encode_path(&self, graph: &CallGraph, path: &[EdgeIx]) -> u128 {
+        path.iter()
+            .map(|&e| self.site_av[&graph.edge(e).site])
+            .sum()
+    }
+}
+
+/// The paper's `CalculateIncrement`: picks the site's addition value as the
+/// maximum candidate over its dispatch targets, then raises each target's
+/// candidate to `ICC[caller] + av`.
+fn calculate_increment(
+    graph: &CallGraph,
+    excluded: &HashSet<EdgeIx>,
+    cav: &mut [u128],
+    icc: &[u128],
+    site: SiteId,
+) -> u128 {
+    let mut av = 0u128;
+    for &e in graph.site_edges(site) {
+        if excluded.contains(&e) {
+            continue;
+        }
+        av = av.max(cav[graph.edge(e).callee.index()]);
+    }
+    for &e in graph.site_edges(site) {
+        if excluded.contains(&e) {
+            continue;
+        }
+        let edge = graph.edge(e);
+        cav[edge.callee.index()] = icc[edge.caller.index()].saturating_add(av);
+    }
+    av
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_callgraph::NodeIx;
+    use deltapath_ir::{MethodId, SiteId};
+
+    /// Builds the paper's Figure 4 graph.
+    ///
+    /// Nodes A..G. Virtual site `d2` produces edges D'E and DF; virtual site
+    /// `c1` produces edges CF and CG. Returns (graph, nodes, site ids in
+    /// creation order: AB, AC, BD, CD, DE, d2, c1, EG, FG).
+    pub(crate) fn figure4() -> (CallGraph, Vec<NodeIx>, Vec<SiteId>) {
+        let mut g = CallGraph::empty();
+        let nodes: Vec<NodeIx> = (0..7).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let (a, b, c, d, e, f_, gg) = (
+            nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6],
+        );
+        g.set_entry(a);
+        let sites: Vec<SiteId> = (0..9).map(SiteId::from_index).collect();
+        g.add_edge(a, b, sites[0]); // AB
+        g.add_edge(a, c, sites[1]); // AC
+        g.add_edge(b, d, sites[2]); // BD
+        g.add_edge(c, d, sites[3]); // CD
+        g.add_edge(d, e, sites[4]); // DE
+        g.add_edge(d, e, sites[5]); // D'E  (virtual site d2)
+        g.add_edge(d, f_, sites[5]); // DF  (virtual site d2)
+        g.add_edge(c, f_, sites[6]); // CF  (virtual site c1)
+        g.add_edge(c, gg, sites[6]); // CG  (virtual site c1)
+        g.add_edge(e, gg, sites[7]); // EG
+        g.add_edge(f_, gg, sites[8]); // FG
+        (g, nodes, sites)
+    }
+
+    #[test]
+    fn figure4_iccs_follow_the_worked_example() {
+        let (g, nodes, _) = figure4();
+        let enc = Algo1Encoding::analyze(&g, &HashSet::new()).unwrap();
+        let icc = |i: usize| enc.icc[nodes[i].index()];
+        assert_eq!(icc(0), 1); // A
+        assert_eq!(icc(1), 1); // B
+        assert_eq!(icc(2), 1); // C
+        assert_eq!(icc(3), 2); // D (paper: ICC[D] = 2)
+        assert_eq!(icc(4), 4); // E (paper: ICC[E] = 4)
+        assert_eq!(icc(5), 5); // F (paper: ICC[F] = 5, NC[F] = 3)
+    }
+
+    #[test]
+    fn figure4_virtual_site_gets_single_addition_value() {
+        let (g, _, sites) = figure4();
+        let enc = Algo1Encoding::analyze(&g, &HashSet::new()).unwrap();
+        // Paper: the virtual call in D (edges D'E and DF) gets value 2 =
+        // max{CAV[E], CAV[F]} = max{2, 0}.
+        assert_eq!(enc.site_av[&sites[5]], 2);
+        // First incoming edges get 0.
+        assert_eq!(enc.site_av[&sites[0]], 0); // AB
+        assert_eq!(enc.site_av[&sites[4]], 0); // DE
+        // CD is D's second incoming edge: CAV[D] was 1.
+        assert_eq!(enc.site_av[&sites[3]], 1);
+    }
+
+    /// Enumerate all root-to-node paths; encodings must be unique per node
+    /// and fall inside `[0, ICC[node])`.
+    pub(crate) fn assert_unique_encodings(g: &CallGraph, enc: &Algo1Encoding) {
+        fn walk(
+            g: &CallGraph,
+            enc: &Algo1Encoding,
+            node: NodeIx,
+            sum: u128,
+            seen: &mut std::collections::HashMap<NodeIx, Vec<u128>>,
+        ) {
+            seen.entry(node).or_default().push(sum);
+            for &e in g.out_edges(node) {
+                let edge = g.edge(e);
+                walk(
+                    g,
+                    enc,
+                    edge.callee,
+                    sum + enc.site_av[&edge.site],
+                    seen,
+                );
+            }
+        }
+        let mut seen = std::collections::HashMap::new();
+        for &root in g.roots() {
+            walk(g, enc, root, 0, &mut seen);
+        }
+        for (node, ids) in seen {
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(
+                dedup.len(),
+                ids.len(),
+                "duplicate encodings at node {node}"
+            );
+            assert!(
+                ids.iter().all(|&v| v < enc.icc[node.index()].max(1)),
+                "encoding out of range at node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_contexts_encode_uniquely() {
+        let (g, _, _) = figure4();
+        let enc = Algo1Encoding::analyze(&g, &HashSet::new()).unwrap();
+        assert_unique_encodings(&g, &enc);
+    }
+
+    #[test]
+    fn icc_equals_nc_without_virtual_dispatch() {
+        // The paper's observation: with no multi-target sites, ICC[n] =
+        // NC[n]. Reuse the Figure 1 graph where every site has one edge.
+        let (g, _, _) = crate::pcce::tests::figure1();
+        let a1 = Algo1Encoding::analyze(&g, &HashSet::new()).unwrap();
+        let pcce = crate::pcce::PcceEncoding::analyze(&g, &HashSet::new()).unwrap();
+        assert_eq!(a1.icc, pcce.nc);
+        assert_eq!(a1.max_icc, pcce.max_nc);
+    }
+
+    #[test]
+    fn excluded_edges_are_invisible() {
+        // A -> B plus a back edge B -> A that we exclude.
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        g.set_entry(a);
+        g.add_edge(a, b, SiteId::from_index(0));
+        let back = g.add_edge(b, a, SiteId::from_index(1));
+        let excluded: HashSet<EdgeIx> = [back].into_iter().collect();
+        let enc = Algo1Encoding::analyze(&g, &excluded).unwrap();
+        assert_eq!(enc.icc[a.index()], 1);
+        assert_eq!(enc.icc[b.index()], 1);
+        assert!(!enc.site_av.contains_key(&SiteId::from_index(1)));
+    }
+
+    #[test]
+    fn cyclic_graph_without_exclusion_errors() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        g.set_entry(a);
+        g.add_edge(a, b, SiteId::from_index(0));
+        g.add_edge(b, a, SiteId::from_index(1));
+        assert_eq!(
+            Algo1Encoding::analyze(&g, &HashSet::new()).unwrap_err(),
+            EncodeError::StillCyclic
+        );
+    }
+}

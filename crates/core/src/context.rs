@@ -1,0 +1,158 @@
+//! Encoded calling-context values: the ID plus the runtime stack.
+
+use std::fmt;
+
+use deltapath_ir::{MethodId, SiteId};
+
+/// Why a stack element was pushed.
+///
+/// The paper packs this tag into two bits borrowed from the method
+/// identifier (footnote 2); we keep it as an enum for clarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameTag {
+    /// The invocation of an anchor node (Algorithm 2) — including the
+    /// bootstrap frame for the entry method and recursion headers entered
+    /// through forward edges.
+    Anchor,
+    /// A call along a recursion back edge: the context continues at the
+    /// recursion header with a fresh ID piece.
+    Recursion,
+    /// A hazardous unexpected call path detected by call-path tracking: the
+    /// method was entered from dynamically loaded or scope-excluded code.
+    Ucp,
+}
+
+/// One element of the runtime encoding stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Why the frame was pushed.
+    pub tag: FrameTag,
+    /// The method whose entry pushed the frame (the start of the encoding
+    /// piece above this frame).
+    pub node: MethodId,
+    /// The call site through which the piece below this frame ended:
+    /// for [`FrameTag::Recursion`] the back-edge site, for [`FrameTag::Ucp`]
+    /// the last instrumented call site before control left the encoded
+    /// region. `None` for the bootstrap frame.
+    pub site: Option<SiteId>,
+    /// The encoding ID at push time, restored at the method's exit.
+    pub saved_id: u64,
+}
+
+/// A complete encoded calling context: the stack, the current ID, and the
+/// method at which it was captured.
+///
+/// Two contexts are equal exactly when their encodings are equal; DeltaPath
+/// guarantees (and the test suite verifies) that distinct calling contexts
+/// produce distinct `EncodedContext` values, so this type is directly usable
+/// as a hash-map key for context-sensitive profiling.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EncodedContext {
+    /// The encoding stack, bottom first. The bottom frame is the bootstrap
+    /// frame for the thread's entry method.
+    pub frames: Vec<Frame>,
+    /// The current encoding ID (the piece since the top frame).
+    pub id: u64,
+    /// The method at which the context was captured.
+    pub at: MethodId,
+}
+
+impl EncodedContext {
+    /// The stack depth (number of frames), the paper's Table 2
+    /// "max./avg. depth" statistic for DeltaPath.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of hazardous-UCP frames in the stack (Table 2 "UCP" columns).
+    pub fn ucp_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.tag == FrameTag::Ucp)
+            .count()
+    }
+
+    /// Number of recursion frames in the stack.
+    pub fn recursion_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.tag == FrameTag::Recursion)
+            .count()
+    }
+}
+
+impl fmt::Display for EncodedContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, frame) in self.frames.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            let tag = match frame.tag {
+                FrameTag::Anchor => "A",
+                FrameTag::Recursion => "R",
+                FrameTag::Ucp => "U",
+            };
+            write!(f, "{}:{}={}", tag, frame.node, frame.saved_id)?;
+        }
+        write!(f, "] id={} @{}", self.id, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> EncodedContext {
+        EncodedContext {
+            frames: vec![
+                Frame {
+                    tag: FrameTag::Anchor,
+                    node: MethodId::from_index(0),
+                    site: None,
+                    saved_id: 0,
+                },
+                Frame {
+                    tag: FrameTag::Ucp,
+                    node: MethodId::from_index(3),
+                    site: Some(SiteId::from_index(5)),
+                    saved_id: 7,
+                },
+                Frame {
+                    tag: FrameTag::Recursion,
+                    node: MethodId::from_index(4),
+                    site: Some(SiteId::from_index(6)),
+                    saved_id: 2,
+                },
+            ],
+            id: 9,
+            at: MethodId::from_index(8),
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let c = ctx();
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.ucp_count(), 1);
+        assert_eq!(c.recursion_count(), 1);
+    }
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let s = ctx().to_string();
+        assert!(s.contains("A:m0=0"));
+        assert!(s.contains("U:m3=7"));
+        assert!(s.contains("R:m4=2"));
+        assert!(s.contains("id=9"));
+        assert!(s.contains("@m8"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(ctx(), ctx());
+        let mut other = ctx();
+        other.id = 10;
+        assert_ne!(ctx(), other);
+    }
+}

@@ -1,0 +1,169 @@
+//! Error types for encoding analysis and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+use deltapath_ir::{MethodId, SiteId};
+
+use crate::width::EncodingWidth;
+
+/// A failure of the static encoding analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The call graph has no entry/roots to encode from.
+    NoRoots,
+    /// The width is too small even with every node promoted to an anchor
+    /// (pathological fan-in at a single node).
+    WidthTooSmall {
+        /// The width that could not accommodate the graph.
+        width: EncodingWidth,
+    },
+    /// Back-edge removal failed to acyclify the graph (internal invariant;
+    /// indicates a corrupted back-edge set was supplied).
+    StillCyclic,
+    /// The requested width cannot be executed by the `u64` runtime.
+    NotExecutable {
+        /// The offending width.
+        width: EncodingWidth,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::NoRoots => write!(f, "call graph has no encoding roots"),
+            EncodeError::WidthTooSmall { width } => write!(
+                f,
+                "{width} encoding is too small even with maximal anchor placement"
+            ),
+            EncodeError::StillCyclic => {
+                write!(f, "graph remains cyclic after back-edge removal")
+            }
+            EncodeError::NotExecutable { width } => {
+                write!(f, "{width} encoding exceeds the 64-bit runtime ID")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// A failure while decoding an encoded calling context.
+///
+/// The decoder verifies structural invariants at every step and refuses to
+/// produce a context it cannot justify — corrupted inputs yield errors, never
+/// silently wrong contexts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The method at which the context was captured is not part of the
+    /// encoded call graph.
+    UnknownMethod(MethodId),
+    /// At some node, no incoming edge's sub-range contains the remaining ID.
+    NoMatchingEdge {
+        /// The method whose incoming edges were searched.
+        at: MethodId,
+        /// The remaining ID value.
+        id: u128,
+    },
+    /// The piece walked back to its root with a non-zero remaining ID.
+    NonZeroAtRoot {
+        /// The piece root.
+        root: MethodId,
+        /// The left-over ID value.
+        id: u128,
+    },
+    /// A search-decoded piece (rooted at an unexpected-call-path entry)
+    /// matched more than one path; the encoding cannot be inverted uniquely.
+    Ambiguous {
+        /// The piece root.
+        root: MethodId,
+        /// The piece end.
+        at: MethodId,
+    },
+    /// Search decoding exceeded the configured depth bound.
+    DepthExceeded {
+        /// The bound that was hit.
+        limit: usize,
+    },
+    /// A stack frame refers to a call site that is not in the plan.
+    UnknownSite(SiteId),
+    /// The encoded stack is empty (every context carries at least the
+    /// bootstrap frame).
+    EmptyStack,
+    /// A frame's saved ID is smaller than the addition value that must be
+    /// subtracted from it — the stack is corrupt.
+    CorruptFrame {
+        /// The site whose addition value did not fit.
+        site: SiteId,
+    },
+    /// A non-bottom unexpected-call-path frame carries no call site, so the
+    /// outer context cannot be attributed (cannot occur for contexts
+    /// produced by the runtime; indicates hand-built or corrupted input).
+    UnattributedUcp {
+        /// The method that was entered through the unexpected call path.
+        node: MethodId,
+    },
+    /// The bottom stack frame is not an anchor bootstrap frame.
+    BadBottomFrame,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownMethod(m) => {
+                write!(f, "method {m} is not part of the encoded call graph")
+            }
+            DecodeError::NoMatchingEdge { at, id } => {
+                write!(f, "no incoming edge of {at} covers remaining id {id}")
+            }
+            DecodeError::NonZeroAtRoot { root, id } => {
+                write!(f, "reached piece root {root} with non-zero id {id}")
+            }
+            DecodeError::Ambiguous { root, at } => {
+                write!(f, "piece from {root} to {at} has multiple preimages")
+            }
+            DecodeError::DepthExceeded { limit } => {
+                write!(f, "search decoding exceeded depth limit {limit}")
+            }
+            DecodeError::UnknownSite(s) => write!(f, "call site {s} is not in the plan"),
+            DecodeError::EmptyStack => write!(f, "encoded context has an empty stack"),
+            DecodeError::CorruptFrame { site } => {
+                write!(f, "frame for site {site} has inconsistent saved id")
+            }
+            DecodeError::UnattributedUcp { node } => {
+                write!(f, "unexpected-call-path frame at {node} carries no call site")
+            }
+            DecodeError::BadBottomFrame => {
+                write!(f, "bottom stack frame is not an anchor bootstrap frame")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EncodeError::WidthTooSmall {
+            width: EncodingWidth::new(8),
+        };
+        assert!(e.to_string().contains("8-bit"));
+        let d = DecodeError::NoMatchingEdge {
+            at: MethodId::from_index(3),
+            id: 17,
+        };
+        assert!(d.to_string().contains("m3"));
+        assert!(d.to_string().contains("17"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(EncodeError::NoRoots);
+        takes_err(DecodeError::EmptyStack);
+    }
+}

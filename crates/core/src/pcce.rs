@@ -1,0 +1,260 @@
+//! The PCCE baseline (Sumner et al.), as described in Section 2 of the
+//! DeltaPath paper.
+//!
+//! PCCE assigns an addition value to every call *edge*: the first incoming
+//! edge of a node gets 0 and each subsequent edge gets the sum of the
+//! numbers of calling contexts (NC) of the predecessors seen so far. The
+//! encoding of a context is the sum of its edges' addition values, unique
+//! per ending node.
+//!
+//! PCCE is correct for procedural programs, where every call site has
+//! exactly one target. With virtual dispatch one *site* may need different
+//! addition values for different targets — the problem DeltaPath's
+//! Algorithm 1 solves. This module exists as the faithful baseline and as a
+//! cross-check: when no site has multiple targets, DeltaPath's inflated
+//! calling-context counts equal PCCE's NCs (a property test asserts this).
+
+use std::collections::HashSet;
+
+use deltapath_callgraph::{topological_order, CallGraph, EdgeIx, NodeIx};
+
+use crate::error::{DecodeError, EncodeError};
+
+/// The result of PCCE static analysis over an acyclic call graph.
+#[derive(Clone, Debug)]
+pub struct PcceEncoding {
+    /// Number of calling contexts ending at each node (the paper's NC).
+    pub nc: Vec<u128>,
+    /// Addition value per edge.
+    pub av: Vec<u128>,
+    /// The largest NC — the encoding space the program needs.
+    pub max_nc: u128,
+}
+
+impl PcceEncoding {
+    /// Runs PCCE over `graph`, ignoring `excluded` edges (back edges).
+    ///
+    /// Roots (the entry and any extra roots) have NC = 1.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::NoRoots`] if the graph has no roots;
+    /// [`EncodeError::StillCyclic`] if cycles remain after exclusion.
+    pub fn analyze(graph: &CallGraph, excluded: &HashSet<EdgeIx>) -> Result<Self, EncodeError> {
+        if graph.node_count() == 0 || graph.roots().is_empty() {
+            return Err(EncodeError::NoRoots);
+        }
+        let order =
+            topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
+        let n = graph.node_count();
+        let mut nc = vec![0u128; n];
+        let mut av = vec![0u128; graph.edge_count()];
+        for root in graph.roots() {
+            nc[root.index()] = 1;
+        }
+        for node in order {
+            let mut running: u128 = 0;
+            for &e in graph.in_edges(node) {
+                if excluded.contains(&e) {
+                    continue;
+                }
+                let pred = graph.edge(e).caller;
+                av[e.index()] = running;
+                running = running.saturating_add(nc[pred.index()]);
+            }
+            if running > 0 {
+                // Roots keep their seeded NC of 1 only when they have no
+                // incoming edges; otherwise context counts flow in normally.
+                nc[node.index()] = nc[node.index()].saturating_add(running);
+            }
+        }
+        let max_nc = nc.iter().copied().max().unwrap_or(0);
+        Ok(Self { nc, av, max_nc })
+    }
+
+    /// Encodes a path given as a sequence of edges (caller-to-callee order):
+    /// the sum of the edges' addition values.
+    pub fn encode_path(&self, path: &[EdgeIx]) -> u128 {
+        path.iter().map(|e| self.av[e.index()]).sum()
+    }
+
+    /// Decodes `(id, end)` back to the node path `root..=end`.
+    ///
+    /// Walks bottom-up: at each node, the unique incoming edge whose
+    /// sub-range `[av, av + NC[pred])` contains the remaining id is taken.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::NoMatchingEdge`] if no edge covers the remaining id
+    /// (corrupted id or a graph that PCCE cannot encode uniquely, e.g. one
+    /// with conflicting virtual-site addition values).
+    pub fn decode(
+        &self,
+        graph: &CallGraph,
+        excluded: &HashSet<EdgeIx>,
+        end: NodeIx,
+        id: u128,
+    ) -> Result<Vec<NodeIx>, DecodeError> {
+        let mut path = vec![end];
+        let mut cur = end;
+        let mut v = id;
+        loop {
+            if v == 0 && graph.roots().contains(&cur) && graph.in_edges(cur).is_empty() {
+                break;
+            }
+            let mut chosen: Option<EdgeIx> = None;
+            for &e in graph.in_edges(cur) {
+                if excluded.contains(&e) {
+                    continue;
+                }
+                let a = self.av[e.index()];
+                let pred = graph.edge(e).caller;
+                if a <= v && v < a.saturating_add(self.nc[pred.index()]) {
+                    chosen = Some(e);
+                    break;
+                }
+            }
+            match chosen {
+                Some(e) => {
+                    let edge = graph.edge(e);
+                    v -= self.av[e.index()];
+                    cur = edge.caller;
+                    path.push(cur);
+                }
+                None => {
+                    if v == 0 && graph.roots().contains(&cur) {
+                        break;
+                    }
+                    return Err(DecodeError::NoMatchingEdge {
+                        at: graph.method_of(cur),
+                        id: v,
+                    });
+                }
+            }
+        }
+        path.reverse();
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use deltapath_ir::{MethodId, SiteId};
+
+    /// Builds the call graph of the paper's Figure 1.
+    ///
+    /// Nodes: A B C D E F G. Edges in processing order:
+    /// AB, AC, BD, CD, DE (site d1), D'E (site d2), DF, CF, EG, FG, CG.
+    pub(crate) fn figure1() -> (CallGraph, Vec<NodeIx>, Vec<EdgeIx>) {
+        let mut g = CallGraph::empty();
+        let nodes: Vec<NodeIx> = (0..7).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let (a, b, c, d, e, f_, gg) = (
+            nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6],
+        );
+        g.set_entry(a);
+        let mut s = 0..;
+        let mut site = || SiteId::from_index(s.next().unwrap());
+        let edges = vec![
+            g.add_edge(a, b, site()),  // AB
+            g.add_edge(a, c, site()),  // AC
+            g.add_edge(b, d, site()),  // BD
+            g.add_edge(c, d, site()),  // CD
+            g.add_edge(d, e, site()),  // DE
+            g.add_edge(d, e, site()),  // D'E
+            g.add_edge(d, f_, site()), // DF
+            g.add_edge(c, f_, site()), // CF
+            g.add_edge(e, gg, site()), // EG
+            g.add_edge(f_, gg, site()), // FG
+            g.add_edge(c, gg, site()), // CG
+        ];
+        (g, nodes, edges)
+    }
+
+    #[test]
+    fn figure1_ncs_match_paper() {
+        let (g, nodes, _) = figure1();
+        let enc = PcceEncoding::analyze(&g, &HashSet::new()).unwrap();
+        let nc = |i: usize| enc.nc[nodes[i].index()];
+        assert_eq!(nc(0), 1); // A
+        assert_eq!(nc(1), 1); // B
+        assert_eq!(nc(2), 1); // C
+        assert_eq!(nc(3), 2); // D = B + C
+        assert_eq!(nc(4), 4); // E = D + D (two sites)
+        assert_eq!(nc(5), 3); // F = D + C
+        assert_eq!(nc(6), 8); // G = E + F + C
+        assert_eq!(enc.max_nc, 8);
+    }
+
+    #[test]
+    fn figure1_addition_values_match_paper() {
+        let (g, _, edges) = figure1();
+        let enc = PcceEncoding::analyze(&g, &HashSet::new()).unwrap();
+        // Paper: D'E has +2, DF has 0, CF has +2, FG has +4, CG has +7.
+        assert_eq!(enc.av[edges[5].index()], 2); // D'E
+        assert_eq!(enc.av[edges[6].index()], 0); // DF
+        assert_eq!(enc.av[edges[7].index()], 2); // CF
+        assert_eq!(enc.av[edges[9].index()], 4); // FG
+        assert_eq!(enc.av[edges[10].index()], 7); // CG
+    }
+
+    #[test]
+    fn figure1_acfg_encodes_to_six_and_decodes_back() {
+        let (g, nodes, edges) = figure1();
+        let enc = PcceEncoding::analyze(&g, &HashSet::new()).unwrap();
+        // ACFG = AC + CF + FG = 0 + 2 + 4 = 6.
+        let id = enc.encode_path(&[edges[1], edges[7], edges[9]]);
+        assert_eq!(id, 6);
+        let path = enc.decode(&g, &HashSet::new(), nodes[6], id).unwrap();
+        assert_eq!(path, vec![nodes[0], nodes[2], nodes[5], nodes[6]]);
+    }
+
+    #[test]
+    fn all_figure1_contexts_have_unique_encodings_per_node() {
+        let (g, _, _) = figure1();
+        let enc = PcceEncoding::analyze(&g, &HashSet::new()).unwrap();
+        // Enumerate all root-to-node paths and group encodings by end node.
+        fn walk(
+            g: &CallGraph,
+            enc: &PcceEncoding,
+            node: NodeIx,
+            sum: u128,
+            seen: &mut std::collections::HashMap<NodeIx, Vec<u128>>,
+        ) {
+            seen.entry(node).or_default().push(sum);
+            for &e in g.out_edges(node) {
+                let edge = g.edge(e);
+                walk(g, enc, edge.callee, sum + enc.av[e.index()], seen);
+            }
+        }
+        let mut seen = std::collections::HashMap::new();
+        walk(&g, &enc, g.entry().unwrap(), 0, &mut seen);
+        for (node, ids) in seen {
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), ids.len(), "duplicate encodings at {node}");
+            // All encodings fall inside [0, NC[node]).
+            assert!(ids.iter().all(|&v| v < enc.nc[node.index()]));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_id() {
+        let (g, nodes, _) = figure1();
+        let enc = PcceEncoding::analyze(&g, &HashSet::new()).unwrap();
+        assert!(matches!(
+            enc.decode(&g, &HashSet::new(), nodes[6], 8),
+            Err(DecodeError::NoMatchingEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = CallGraph::empty();
+        assert_eq!(
+            PcceEncoding::analyze(&g, &HashSet::new()).unwrap_err(),
+            EncodeError::NoRoots
+        );
+    }
+}

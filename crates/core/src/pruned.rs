@@ -1,0 +1,144 @@
+//! Pruned encoding (paper Section 8, "Pruned and Relative Encoding").
+//!
+//! When the user only ever queries the calling contexts of a known set of
+//! *target* functions (event logging, targeted profiling), every method that
+//! cannot lead to a target needs no encoding operations at all. This module
+//! restricts a call graph to the methods from which some target is
+//! reachable; an [`EncodingPlan`](crate::EncodingPlan) built over the pruned
+//! graph (via [`EncodingPlan::from_graph`](crate::EncodingPlan::from_graph))
+//! instruments only that subgraph.
+//!
+//! Methods outside the pruned graph behave exactly like scope-excluded code:
+//! call-path tracking keeps the encoding correct if control re-enters the
+//! pruned region (which, by construction, cannot happen on a path that later
+//! reaches a target *through* pruned-out methods — those would have been
+//! kept).
+
+use std::collections::HashSet;
+
+use deltapath_callgraph::{reaches_to, CallGraph};
+use deltapath_ir::MethodId;
+
+/// Restricts `graph` to the nodes from which any of `targets` is reachable
+/// (targets included), preserving roots that survive and promoting nodes
+/// whose remaining callers were all pruned.
+///
+/// Methods in `targets` that are not in `graph` are ignored.
+pub fn prune_to_targets(graph: &CallGraph, targets: &[MethodId]) -> CallGraph {
+    let target_nodes: Vec<_> = targets
+        .iter()
+        .filter_map(|&m| graph.node_of(m))
+        .collect();
+    let keep = reaches_to(graph, &target_nodes, &HashSet::new());
+
+    let mut pruned = CallGraph::empty();
+    for node in graph.nodes() {
+        if keep[node.index()] {
+            pruned.add_node(graph.method_of(node));
+        }
+    }
+    for edge in graph.edges() {
+        if keep[edge.caller.index()] && keep[edge.callee.index()] {
+            let c = pruned.add_node(graph.method_of(edge.caller));
+            let t = pruned.add_node(graph.method_of(edge.callee));
+            pruned.add_edge(c, t, edge.site);
+        }
+    }
+    if let Some(entry) = graph.entry() {
+        if keep[entry.index()] {
+            let e = pruned.add_node(graph.method_of(entry));
+            pruned.set_entry(e);
+        }
+    }
+    for &root in graph.roots() {
+        if keep[root.index()] {
+            let r = pruned.add_node(graph.method_of(root));
+            pruned.add_root(r);
+        }
+    }
+    // Nodes that lost all their callers become entry points of the pruned
+    // region (reached through pruned-out code at runtime).
+    let orphans: Vec<_> = pruned
+        .nodes()
+        .filter(|&n| pruned.in_edges(n).is_empty())
+        .collect();
+    for n in orphans {
+        pruned.add_root(n);
+    }
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_callgraph::{Analysis, GraphConfig};
+    use deltapath_ir::{MethodKind, Program, ProgramBuilder};
+
+    /// Figure 4-shaped program in spirit: main -> {d, e}; d -> target;
+    /// e -> other. Pruning to `target` must drop e and other.
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("pruned");
+        let c = b.add_class("C", None);
+        b.method(c, "target", MethodKind::Static).finish();
+        b.method(c, "other", MethodKind::Static).finish();
+        b.method(c, "d", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "target");
+            })
+            .finish();
+        b.method(c, "e", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "other");
+            })
+            .finish();
+        let main = b
+            .method(c, "main", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "d");
+                f.call(c, "e");
+            })
+            .finish();
+        b.entry(main);
+        b.finish().unwrap()
+    }
+
+    fn method(p: &Program, name: &str) -> MethodId {
+        p.declared_method(
+            p.class_by_name("C").unwrap(),
+            p.symbols().lookup(name).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prune_keeps_only_paths_to_targets() {
+        let p = program();
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        let pruned = prune_to_targets(&g, &[method(&p, "target")]);
+        assert_eq!(pruned.node_count(), 3); // main, d, target
+        assert_eq!(pruned.edge_count(), 2);
+        assert!(pruned.node_of(method(&p, "e")).is_none());
+        assert!(pruned.node_of(method(&p, "other")).is_none());
+        assert_eq!(pruned.entry().map(|e| pruned.method_of(e)), Some(p.entry()));
+    }
+
+    #[test]
+    fn pruned_plan_encodes_target_contexts() {
+        let p = program();
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        let pruned = prune_to_targets(&g, &[method(&p, "target")]);
+        let plan =
+            crate::EncodingPlan::from_graph(&p, pruned, &crate::PlanConfig::default()).unwrap();
+        // Only the two sites on the main->d->target chain are instrumented.
+        assert_eq!(plan.instrumented_site_count(), 2);
+        assert!(plan.entry(method(&p, "e")).is_none());
+    }
+
+    #[test]
+    fn unknown_targets_are_ignored() {
+        let p = program();
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        let pruned = prune_to_targets(&g, &[MethodId::from_index(999)]);
+        assert_eq!(pruned.node_count(), 0);
+    }
+}

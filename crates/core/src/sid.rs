@@ -1,0 +1,216 @@
+//! Call-path-tracking set identifiers (paper Section 4.1).
+//!
+//! Inspired by control-flow integrity, the call-path tracking technique
+//! assigns every method a *set identifier* (SID) such that all possible
+//! dispatch targets of any one call site share a SID. At runtime, a caller
+//! saves the expected SID before a call; each statically known method
+//! compares it against its own SID at entry. A mismatch reveals a
+//! *hazardous unexpected call path* — control arrived through dynamically
+//! loaded (or scope-excluded) code in a way that would corrupt the encoding.
+//! Matching SIDs mean the path is *benign*: because all alternatives of a
+//! site share one SID (and one addition value), the encoding remains
+//! decodable with the dynamic detour elided.
+//!
+//! Statically the SIDs are the connected components of the "co-dispatched"
+//! relation: start with every method in its own set and union the target
+//! sets of every call site.
+
+use std::fmt;
+
+use deltapath_callgraph::CallGraph;
+use deltapath_ir::MethodId;
+
+/// A set identifier shared by all dispatch targets of any call site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sid(u32);
+
+impl Sid {
+    /// The reserved SID carried by call sites none of whose targets are in
+    /// the encoded graph: it matches no method's SID, so the next encoded
+    /// entry always detects a hazardous unexpected call path.
+    pub const UNKNOWN: Sid = Sid(u32::MAX);
+
+    /// The raw value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Sid::UNKNOWN {
+            write!(f, "sid#?")
+        } else {
+            write!(f, "sid#{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Sid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Set identifiers for every method in an encoded call graph.
+#[derive(Clone, Debug)]
+pub struct SidTable {
+    /// SID per node index of the graph the table was computed for.
+    sid_of_node: Vec<Sid>,
+    /// Number of distinct sets.
+    set_count: usize,
+    /// Methods indexed the same way as the graph nodes (for method lookup).
+    method_sids: std::collections::HashMap<MethodId, Sid>,
+}
+
+impl SidTable {
+    /// Computes SIDs for `graph`: unions the dispatch-target set of every
+    /// call site (including recursion back edges — a back-edge target is a
+    /// legitimate dispatch alternative of its site).
+    pub fn compute(graph: &CallGraph) -> Self {
+        let n = graph.node_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+
+        for site in graph.instrumented_sites() {
+            let edges = graph.site_edges(site);
+            let mut first: Option<usize> = None;
+            for &e in edges {
+                let callee = graph.edge(e).callee.index();
+                match first {
+                    None => first = Some(find(&mut parent, callee)),
+                    Some(f) => {
+                        let r = find(&mut parent, callee);
+                        let f2 = find(&mut parent, f);
+                        if r != f2 {
+                            parent[r] = f2;
+                        }
+                        first = Some(f2);
+                    }
+                }
+            }
+        }
+
+        // Compress roots into dense SIDs.
+        let mut sid_of_root: std::collections::HashMap<usize, Sid> =
+            std::collections::HashMap::new();
+        let mut sid_of_node = Vec::with_capacity(n);
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            let next = Sid(u32::try_from(sid_of_root.len()).expect("too many SIDs"));
+            let sid = *sid_of_root.entry(root).or_insert(next);
+            sid_of_node.push(sid);
+        }
+        let method_sids = graph
+            .nodes()
+            .map(|node| (graph.method_of(node), sid_of_node[node.index()]))
+            .collect();
+        Self {
+            set_count: sid_of_root.len(),
+            sid_of_node,
+            method_sids,
+        }
+    }
+
+    /// The SID of a graph node.
+    pub fn sid_of_node_index(&self, index: usize) -> Sid {
+        self.sid_of_node[index]
+    }
+
+    /// The SID of a method, if it is in the encoded graph.
+    pub fn sid_of_method(&self, method: MethodId) -> Option<Sid> {
+        self.method_sids.get(&method).copied()
+    }
+
+    /// Number of distinct sets.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_ir::SiteId;
+
+    fn m(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+    fn s(i: usize) -> SiteId {
+        SiteId::from_index(i)
+    }
+
+    #[test]
+    fn co_dispatched_targets_share_a_sid() {
+        // Site 0 dispatches to {b, c}; site 1 dispatches to {c, d};
+        // transitively b, c, d share a SID. e stands alone.
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        let c = g.add_node(m(2));
+        let d = g.add_node(m(3));
+        let e = g.add_node(m(4));
+        g.set_entry(a);
+        g.add_edge(a, b, s(0));
+        g.add_edge(a, c, s(0));
+        g.add_edge(b, c, s(1));
+        g.add_edge(b, d, s(1));
+        g.add_edge(d, e, s(2));
+        let sids = SidTable::compute(&g);
+        let sid = |n: deltapath_callgraph::NodeIx| sids.sid_of_node_index(n.index());
+        assert_eq!(sid(b), sid(c));
+        assert_eq!(sid(c), sid(d));
+        assert_ne!(sid(b), sid(e));
+        assert_ne!(sid(a), sid(b)); // a is never a dispatch target with them
+        assert_eq!(sids.set_count(), 3); // {a}, {b,c,d}, {e}
+    }
+
+    #[test]
+    fn singleton_sites_keep_methods_separate() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        let c = g.add_node(m(2));
+        g.set_entry(a);
+        g.add_edge(a, b, s(0));
+        g.add_edge(a, c, s(1));
+        let sids = SidTable::compute(&g);
+        assert_ne!(
+            sids.sid_of_node_index(b.index()),
+            sids.sid_of_node_index(c.index())
+        );
+        assert_eq!(sids.set_count(), 3);
+    }
+
+    #[test]
+    fn method_lookup_matches_node_lookup() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(7));
+        let b = g.add_node(m(9));
+        g.set_entry(a);
+        g.add_edge(a, b, s(0));
+        let sids = SidTable::compute(&g);
+        assert_eq!(
+            sids.sid_of_method(m(9)),
+            Some(sids.sid_of_node_index(b.index()))
+        );
+        assert_eq!(sids.sid_of_method(m(999)), None);
+    }
+
+    #[test]
+    fn unknown_sid_matches_nothing() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        g.set_entry(a);
+        let sids = SidTable::compute(&g);
+        assert_ne!(sids.sid_of_node_index(a.index()), Sid::UNKNOWN);
+        assert_eq!(format!("{}", Sid::UNKNOWN), "sid#?");
+    }
+}

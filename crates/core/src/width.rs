@@ -1,0 +1,134 @@
+//! Encoding integer widths.
+
+use std::fmt;
+
+/// The bit width of the runtime encoding integer.
+///
+/// Addition values and encoding IDs must fit in an integer of this width;
+/// Algorithm 2 inserts anchor nodes whenever static analysis detects that an
+/// inflated calling-context count would exceed it. Widths up to 127 bits are
+/// supported for *analysis* (e.g. to measure the encoding space a program
+/// would need, the paper's Table 1 "max. ID" column); widths up to 64 bits
+/// can be *executed* by the runtime, whose ID variable is a `u64`.
+///
+/// # Example
+///
+/// ```
+/// use deltapath_core::EncodingWidth;
+///
+/// let w = EncodingWidth::U32;
+/// assert_eq!(w.bits(), 32);
+/// assert_eq!(w.capacity(), 1u128 << 32);
+/// assert!(EncodingWidth::new(8).fits(255));
+/// assert!(!EncodingWidth::new(8).fits(256));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EncodingWidth {
+    bits: u8,
+}
+
+impl EncodingWidth {
+    /// The paper's 32-bit setting.
+    pub const U32: Self = Self { bits: 32 };
+    /// The paper's 64-bit setting.
+    pub const U64: Self = Self { bits: 64 };
+    /// Effectively unbounded (127 bits): used to measure required encoding
+    /// space without triggering anchor insertion.
+    pub const UNBOUNDED: Self = Self { bits: 127 };
+
+    /// Creates a width of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 127`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=127).contains(&bits), "width must be 1..=127 bits");
+        Self { bits }
+    }
+
+    /// The number of bits.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The number of representable ID values, `2^bits`.
+    ///
+    /// An inflated calling-context count (the exclusive upper bound of an
+    /// encoding space) may equal the capacity; IDs themselves stay below it.
+    pub fn capacity(self) -> u128 {
+        1u128 << self.bits
+    }
+
+    /// The largest representable ID value, `2^bits - 1`.
+    pub fn max_id(self) -> u128 {
+        self.capacity() - 1
+    }
+
+    /// Whether `id` is representable at this width.
+    pub fn fits(self, id: u128) -> bool {
+        id <= self.max_id()
+    }
+
+    /// Whether plans of this width can be executed by the `u64`-based
+    /// runtime.
+    pub fn is_executable(self) -> bool {
+        self.bits <= 64
+    }
+}
+
+impl fmt::Debug for EncodingWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EncodingWidth({} bits)", self.bits)
+    }
+}
+
+impl fmt::Display for EncodingWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(EncodingWidth::U32.bits(), 32);
+        assert_eq!(EncodingWidth::U64.bits(), 64);
+        assert_eq!(EncodingWidth::UNBOUNDED.bits(), 127);
+        assert!(EncodingWidth::U64.is_executable());
+        assert!(!EncodingWidth::UNBOUNDED.is_executable());
+    }
+
+    #[test]
+    fn capacity_and_max_id() {
+        let w = EncodingWidth::new(4);
+        assert_eq!(w.capacity(), 16);
+        assert_eq!(w.max_id(), 15);
+        assert!(w.fits(15));
+        assert!(!w.fits(16));
+    }
+
+    #[test]
+    fn u64_capacity_is_exact() {
+        assert_eq!(EncodingWidth::U64.capacity(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=127")]
+    fn zero_bits_rejected() {
+        EncodingWidth::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=127")]
+    fn excessive_bits_rejected() {
+        EncodingWidth::new(128);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(EncodingWidth::U32.to_string(), "32-bit");
+    }
+}

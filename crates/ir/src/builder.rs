@@ -1,0 +1,465 @@
+//! Fluent construction of [`Program`]s.
+
+use std::collections::HashMap;
+
+use crate::ids::{ClassId, MethodId, SiteId};
+use crate::program::{CallSite, Class, Method, MethodKind, Origin, Program, Scope};
+use crate::stmt::{ArgExpr, CallKind, Receiver, Stmt};
+use crate::symbols::SymbolTable;
+use crate::validate::{self, ValidationError};
+
+/// Builder for [`Program`]s.
+///
+/// Classes must be added parents-first (a superclass id must already exist).
+/// Methods are added per class; bodies are built with a closure-based
+/// [`BodyBuilder`]. `finish` validates the result, so every constructed
+/// `Program` is well-formed.
+///
+/// # Example
+///
+/// ```
+/// use deltapath_ir::{MethodKind, ProgramBuilder, Receiver};
+///
+/// let mut b = ProgramBuilder::new("example");
+/// let util = b.add_class("Util", None);
+/// let main_cls = b.add_class("Main", None);
+/// b.method(util, "helper", MethodKind::Static).work(3).finish();
+/// let main = b
+///     .method(main_cls, "main", MethodKind::Static)
+///     .body(|f| {
+///         f.loop_(4, |f| {
+///             f.call(util, "helper");
+///         });
+///         f.observe(7);
+///     })
+///     .finish();
+/// b.entry(main);
+/// let program = b.finish()?;
+/// assert_eq!(program.sites().len(), 1);
+/// # Ok::<(), deltapath_ir::ValidationError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    classes: Vec<Class>,
+    methods: Vec<Method>,
+    sites: Vec<CallSite>,
+    symbols: SymbolTable,
+    entry: Option<MethodId>,
+    class_names: HashMap<String, ClassId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            classes: Vec::new(),
+            methods: Vec::new(),
+            sites: Vec::new(),
+            symbols: SymbolTable::new(),
+            entry: None,
+            class_names: HashMap::new(),
+        }
+    }
+
+    /// Adds a statically loaded application class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken (API misuse).
+    pub fn add_class(&mut self, name: &str, super_class: Option<ClassId>) -> ClassId {
+        self.add_class_full(name, super_class, Origin::Static, Scope::Application)
+    }
+
+    /// Adds a statically loaded library class (excluded under selective
+    /// encoding).
+    pub fn add_library_class(&mut self, name: &str, super_class: Option<ClassId>) -> ClassId {
+        self.add_class_full(name, super_class, Origin::Static, Scope::Library)
+    }
+
+    /// Adds a dynamically loaded class (invisible to static analysis).
+    pub fn add_dynamic_class(&mut self, name: &str, super_class: Option<ClassId>) -> ClassId {
+        self.add_class_full(name, super_class, Origin::Dynamic, Scope::Application)
+    }
+
+    /// Adds a class with explicit origin and scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken.
+    pub fn add_class_full(
+        &mut self,
+        name: &str,
+        super_class: Option<ClassId>,
+        origin: Origin,
+        scope: Scope,
+    ) -> ClassId {
+        assert!(
+            !self.class_names.contains_key(name),
+            "duplicate class name {name:?}"
+        );
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(Class {
+            id,
+            name: name.to_owned(),
+            super_class,
+            methods: Vec::new(),
+            origin,
+            scope,
+        });
+        self.class_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Starts building a method on `class`. Call
+    /// [`finish`](MethodBuilder::finish) on the returned builder to register
+    /// the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` already declares a method with this name.
+    pub fn method(&mut self, class: ClassId, name: &str, kind: MethodKind) -> MethodBuilder<'_> {
+        let sym = self.symbols.intern(name);
+        assert!(
+            self.classes[class.index()]
+                .methods
+                .iter()
+                .all(|&m| self.methods[m.index()].name != sym),
+            "duplicate method {name:?} on class {}",
+            self.classes[class.index()].name
+        );
+        let id = MethodId::from_index(self.methods.len());
+        self.methods.push(Method {
+            id,
+            class,
+            name: sym,
+            kind,
+            work: 0,
+            body: Vec::new(),
+        });
+        self.classes[class.index()].methods.push(id);
+        MethodBuilder {
+            builder: self,
+            id,
+            work: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Designates the entry method.
+    pub fn entry(&mut self, method: MethodId) {
+        self.entry = Some(method);
+    }
+
+    /// Looks up a previously added class by name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+
+    /// Number of methods added so far.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Validates and returns the finished program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] describing the first problem found: a
+    /// missing entry point, an unresolvable call site, an ill-formed receiver
+    /// list, or a malformed statement.
+    pub fn finish(self) -> Result<Program, ValidationError> {
+        let mut program = Program {
+            name: self.name,
+            classes: self.classes,
+            methods: self.methods,
+            sites: self.sites,
+            entry: self.entry.ok_or(ValidationError::MissingEntry)?,
+            symbols: self.symbols,
+            resolution: HashMap::new(),
+        };
+        validate::validate(&program)?;
+        program.resolution = build_resolution_cache(&program);
+        Ok(program)
+    }
+
+    fn add_site(
+        &mut self,
+        caller: MethodId,
+        kind: CallKind,
+        declared: ClassId,
+        method: &str,
+        receiver: Option<Receiver>,
+        arg: ArgExpr,
+    ) -> SiteId {
+        let id = SiteId::from_index(self.sites.len());
+        let method = self.symbols.intern(method);
+        self.sites.push(CallSite {
+            id,
+            caller,
+            kind,
+            declared,
+            method,
+            receiver,
+            arg,
+        });
+        id
+    }
+}
+
+/// Precomputes `(class, name) -> method` resolution for every pair that can
+/// occur at runtime: all (subtype, site-method-name) combinations.
+fn build_resolution_cache(program: &Program) -> HashMap<(ClassId, crate::Symbol), Option<MethodId>> {
+    let mut cache = HashMap::new();
+    for site in &program.sites {
+        let classes: Vec<ClassId> = match &site.receiver {
+            Some(r) => r.possible_classes().to_vec(),
+            None => vec![site.declared],
+        };
+        for class in classes {
+            cache
+                .entry((class, site.method))
+                .or_insert_with(|| program.resolve_uncached(class, site.method));
+        }
+    }
+    cache
+}
+
+/// Builds one method: configures the work weight and the body, then
+/// registers it.
+#[derive(Debug)]
+pub struct MethodBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    id: MethodId,
+    work: u32,
+    body: Vec<Stmt>,
+}
+
+impl MethodBuilder<'_> {
+    /// Sets the baseline per-invocation work units.
+    pub fn work(mut self, units: u32) -> Self {
+        self.work = units;
+        self
+    }
+
+    /// Builds the method body with the given closure.
+    pub fn body(mut self, f: impl FnOnce(&mut BodyBuilder<'_>)) -> Self {
+        let mut bb = BodyBuilder {
+            builder: self.builder,
+            caller: self.id,
+            stmts: std::mem::take(&mut self.body),
+        };
+        f(&mut bb);
+        self.body = bb.stmts;
+        self
+    }
+
+    /// Registers the method and returns its id.
+    pub fn finish(self) -> MethodId {
+        let m = &mut self.builder.methods[self.id.index()];
+        m.work = self.work;
+        m.body = self.body;
+        self.id
+    }
+}
+
+/// Appends statements to a method body.
+///
+/// Obtained inside [`MethodBuilder::body`]; nested control flow uses nested
+/// closures (`loop_`, `if_mod`).
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    caller: MethodId,
+    stmts: Vec<Stmt>,
+}
+
+impl BodyBuilder<'_> {
+    /// Appends a static (direct) call to `class.method` with argument 0.
+    pub fn call(&mut self, class: ClassId, method: &str) -> SiteId {
+        self.call_arg(class, method, ArgExpr::Const(0))
+    }
+
+    /// Appends a static call with an explicit argument expression.
+    pub fn call_arg(&mut self, class: ClassId, method: &str, arg: ArgExpr) -> SiteId {
+        let site = self
+            .builder
+            .add_site(self.caller, CallKind::Static, class, method, None, arg);
+        self.stmts.push(Stmt::Call(site));
+        site
+    }
+
+    /// Appends a virtual call declared on `declared` with the given receiver
+    /// expression and argument 0.
+    pub fn vcall(&mut self, declared: ClassId, method: &str, receiver: Receiver) -> SiteId {
+        self.vcall_arg(declared, method, receiver, ArgExpr::Const(0))
+    }
+
+    /// Appends a virtual call with an explicit argument expression.
+    pub fn vcall_arg(
+        &mut self,
+        declared: ClassId,
+        method: &str,
+        receiver: Receiver,
+        arg: ArgExpr,
+    ) -> SiteId {
+        let site = self.builder.add_site(
+            self.caller,
+            CallKind::Virtual,
+            declared,
+            method,
+            Some(receiver),
+            arg,
+        );
+        self.stmts.push(Stmt::Call(site));
+        site
+    }
+
+    /// Appends `Work(units)`.
+    pub fn work(&mut self, units: u32) {
+        self.stmts.push(Stmt::Work(units));
+    }
+
+    /// Appends an observation point labelled `event`.
+    pub fn observe(&mut self, event: u32) {
+        self.stmts.push(Stmt::Observe(event));
+    }
+
+    /// Appends an explicit dynamic-class-load trigger.
+    pub fn load_class(&mut self, class: ClassId) {
+        self.stmts.push(Stmt::LoadClass(class));
+    }
+
+    /// Appends a loop running `count` times.
+    pub fn loop_(&mut self, count: u32, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        self.loop_impl(count, false, f);
+    }
+
+    /// Appends a loop whose index becomes the parameter inside the body.
+    pub fn loop_bind(&mut self, count: u32, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        self.loop_impl(count, true, f);
+    }
+
+    fn loop_impl(&mut self, count: u32, bind_param: bool, f: impl FnOnce(&mut BodyBuilder<'_>)) {
+        let saved = std::mem::take(&mut self.stmts);
+        f(self);
+        let body = std::mem::replace(&mut self.stmts, saved);
+        self.stmts.push(Stmt::Loop {
+            count,
+            bind_param,
+            body,
+        });
+    }
+
+    /// Appends a branch on `param % modulus == equals`.
+    pub fn if_mod(
+        &mut self,
+        modulus: u32,
+        equals: u32,
+        then_f: impl FnOnce(&mut BodyBuilder<'_>),
+        else_f: impl FnOnce(&mut BodyBuilder<'_>),
+    ) {
+        let saved = std::mem::take(&mut self.stmts);
+        then_f(self);
+        let then_branch = std::mem::take(&mut self.stmts);
+        else_f(self);
+        let else_branch = std::mem::replace(&mut self.stmts, saved);
+        self.stmts.push(Stmt::If {
+            modulus,
+            equals,
+            then_branch,
+            else_branch,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_bodies() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.add_class("C", None);
+        b.method(c, "leaf", MethodKind::Static).finish();
+        let main = b
+            .method(c, "main", MethodKind::Static)
+            .work(2)
+            .body(|f| {
+                f.loop_(3, |f| {
+                    f.call(c, "leaf");
+                    f.if_mod(
+                        2,
+                        1,
+                        |f| f.work(5),
+                        |f| {
+                            f.call(c, "leaf");
+                        },
+                    );
+                });
+                f.observe(1);
+            })
+            .finish();
+        b.entry(main);
+        let p = b.finish().unwrap();
+        assert_eq!(p.sites().len(), 2);
+        assert_eq!(p.count_call_stmts(), 2);
+        assert_eq!(p.method(main).work(), 2);
+        // Outer body: [Loop, Observe]
+        assert_eq!(p.method(main).body().len(), 2);
+    }
+
+    #[test]
+    fn missing_entry_is_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.add_class("C", None);
+        b.method(c, "main", MethodKind::Static).finish();
+        assert!(matches!(b.finish(), Err(ValidationError::MissingEntry)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class name")]
+    fn duplicate_class_names_panic() {
+        let mut b = ProgramBuilder::new("t");
+        b.add_class("C", None);
+        b.add_class("C", None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate method")]
+    fn duplicate_method_names_panic() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.add_class("C", None);
+        b.method(c, "f", MethodKind::Static).finish();
+        b.method(c, "f", MethodKind::Static).finish();
+    }
+
+    #[test]
+    fn class_lookup_by_name() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.add_class("C", None);
+        assert_eq!(b.class_id("C"), Some(c));
+        assert_eq!(b.class_id("D"), None);
+    }
+
+    #[test]
+    fn resolution_cache_covers_inherited_methods() {
+        let mut b = ProgramBuilder::new("t");
+        let base = b.add_class("Base", None);
+        let derived = b.add_class("Derived", Some(base));
+        b.method(base, "f", MethodKind::Virtual).finish();
+        let main = b
+            .method(base, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(base, "f", Receiver::Fixed(derived));
+            })
+            .finish();
+        b.entry(main);
+        let p = b.finish().unwrap();
+        let f = p.symbols().lookup("f").unwrap();
+        // Derived has no own `f`; resolution walks to Base.
+        let resolved = p.resolve(derived, f).unwrap();
+        assert_eq!(p.method(resolved).class(), base);
+    }
+}

@@ -1,0 +1,170 @@
+//! Human-readable program listings.
+
+use std::fmt;
+
+use crate::program::{MethodKind, Origin, Program, Scope};
+use crate::stmt::CallKind;
+use crate::stmt::{ArgExpr, Receiver, Stmt};
+
+impl fmt::Display for Program {
+    /// Renders a source-like listing of the whole program, mainly for
+    /// debugging generated workloads and for example output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} {{", self.name())?;
+        for class in self.classes() {
+            let origin = match class.origin() {
+                Origin::Static => "",
+                Origin::Dynamic => "dynamic ",
+            };
+            let scope = match class.scope() {
+                Scope::Application => "",
+                Scope::Library => "library ",
+            };
+            let sup = class
+                .super_class()
+                .map(|s| format!(" : {}", self.class(s).name()))
+                .unwrap_or_default();
+            writeln!(f, "  {}{}class {}{} {{", origin, scope, class.name(), sup)?;
+            for &mid in class.methods() {
+                let m = self.method(mid);
+                let kind = match m.kind() {
+                    MethodKind::Static => "static ",
+                    MethodKind::Virtual => "",
+                    MethodKind::Final => "final ",
+                };
+                let entry = if mid == self.entry() { " // entry" } else { "" };
+                writeln!(
+                    f,
+                    "    {}fn {}() work={} {{{}",
+                    kind,
+                    self.symbols().resolve(m.name()),
+                    m.work(),
+                    entry
+                )?;
+                for stmt in m.body() {
+                    self.fmt_stmt(f, stmt, 6)?;
+                }
+                writeln!(f, "    }}")?;
+            }
+            writeln!(f, "  }}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl Program {
+    fn fmt_stmt(&self, f: &mut fmt::Formatter<'_>, stmt: &Stmt, indent: usize) -> fmt::Result {
+        let pad = " ".repeat(indent);
+        match stmt {
+            Stmt::Call(site_id) => {
+                let site = self.site(*site_id);
+                let kind = match site.kind() {
+                    CallKind::Static => "call",
+                    CallKind::Virtual => "vcall",
+                };
+                let recv = match site.receiver() {
+                    None => String::new(),
+                    Some(Receiver::Fixed(c)) => format!(" recv=[{}]", self.class(*c).name()),
+                    Some(Receiver::Cycle(cs)) => format!(
+                        " recv=cycle[{}]",
+                        cs.iter()
+                            .map(|c| self.class(*c).name())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                    Some(Receiver::ByParam(cs)) => format!(
+                        " recv=byparam[{}]",
+                        cs.iter()
+                            .map(|c| self.class(*c).name())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                };
+                let arg = match site.arg() {
+                    ArgExpr::Const(0) => String::new(),
+                    ArgExpr::Const(c) => format!(" arg={c}"),
+                    ArgExpr::Param => " arg=param".to_owned(),
+                    ArgExpr::ParamPlus(c) => format!(" arg=param+{c}"),
+                };
+                writeln!(
+                    f,
+                    "{pad}{kind} {}.{}(){recv}{arg} // {}",
+                    self.class(site.declared()).name(),
+                    self.symbols().resolve(site.method()),
+                    site.id()
+                )
+            }
+            Stmt::Work(n) => writeln!(f, "{pad}work {n}"),
+            Stmt::Loop {
+                count,
+                bind_param,
+                body,
+            } => {
+                let bind = if *bind_param { " bind" } else { "" };
+                writeln!(f, "{pad}loop {count}{bind} {{")?;
+                for s in body {
+                    self.fmt_stmt(f, s, indent + 2)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::If {
+                modulus,
+                equals,
+                then_branch,
+                else_branch,
+            } => {
+                writeln!(f, "{pad}if param % {modulus} == {equals} {{")?;
+                for s in then_branch {
+                    self.fmt_stmt(f, s, indent + 2)?;
+                }
+                if !else_branch.is_empty() {
+                    writeln!(f, "{pad}}} else {{")?;
+                    for s in else_branch {
+                        self.fmt_stmt(f, s, indent + 2)?;
+                    }
+                }
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::LoadClass(c) => writeln!(f, "{pad}load {}", self.class(*c).name()),
+            Stmt::Observe(ev) => writeln!(f, "{pad}observe {ev}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::program::MethodKind;
+    use crate::stmt::Receiver;
+
+    #[test]
+    fn listing_mentions_all_parts() {
+        let mut b = ProgramBuilder::new("pretty");
+        let a = b.add_class("A", None);
+        let bb = b.add_class("B", Some(a));
+        let lib = b.add_library_class("Lib", None);
+        b.method(a, "f", MethodKind::Virtual).finish();
+        b.method(bb, "f", MethodKind::Virtual).finish();
+        b.method(lib, "helper", MethodKind::Static).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.loop_(2, |f| {
+                    f.vcall(a, "f", Receiver::Cycle(vec![a, bb]));
+                });
+                f.call(lib, "helper");
+                f.observe(1);
+            })
+            .finish();
+        b.entry(main);
+        let p = b.finish().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("program pretty"));
+        assert!(text.contains("class B : A"));
+        assert!(text.contains("library class Lib"));
+        assert!(text.contains("vcall A.f() recv=cycle[A,B]"));
+        assert!(text.contains("loop 2"));
+        assert!(text.contains("observe 1"));
+        assert!(text.contains("// entry"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Class-hierarchy queries: subtyping and override closures.
+
+use crate::ids::{ClassId, MethodId};
+use crate::program::Program;
+use crate::symbols::Symbol;
+
+/// Precomputed class-hierarchy information for a [`Program`].
+///
+/// Built once per program; answers the queries the call-graph analyses need:
+/// subtype sets and virtual-dispatch target sets.
+///
+/// # Example
+///
+/// ```
+/// use deltapath_ir::{Hierarchy, MethodKind, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new("h");
+/// let base = b.add_class("Base", None);
+/// let derived = b.add_class("Derived", Some(base));
+/// b.method(base, "f", MethodKind::Virtual).finish();
+/// let main = b.method(base, "main", MethodKind::Static).finish();
+/// b.entry(main);
+/// let program = b.finish()?;
+///
+/// let h = Hierarchy::new(&program);
+/// assert!(h.is_subtype(derived, base));
+/// assert_eq!(h.subtypes(base).len(), 2); // Base and Derived
+/// # Ok::<(), deltapath_ir::ValidationError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Direct subclasses of each class.
+    children: Vec<Vec<ClassId>>,
+    /// Transitive subtype closure (including the class itself), sorted.
+    subtypes: Vec<Vec<ClassId>>,
+}
+
+impl Hierarchy {
+    /// Computes the hierarchy of `program`.
+    pub fn new(program: &Program) -> Self {
+        let n = program.classes().len();
+        let mut children: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        for class in program.classes() {
+            if let Some(sup) = class.super_class() {
+                children[sup.index()].push(class.id());
+            }
+        }
+        let mut subtypes: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        // Classes were created parents-first (the builder enforces it), so a
+        // reverse scan sees every child before its parent.
+        for idx in (0..n).rev() {
+            let mut set = vec![ClassId::from_index(idx)];
+            for &child in &children[idx] {
+                set.extend_from_slice(&subtypes[child.index()]);
+            }
+            set.sort_unstable();
+            set.dedup();
+            subtypes[idx] = set;
+        }
+        Self { children, subtypes }
+    }
+
+    /// Direct subclasses of `class`.
+    pub fn children(&self, class: ClassId) -> &[ClassId] {
+        &self.children[class.index()]
+    }
+
+    /// All subtypes of `class`, including `class` itself.
+    pub fn subtypes(&self, class: ClassId) -> &[ClassId] {
+        &self.subtypes[class.index()]
+    }
+
+    /// Whether `sub` is `sup` or one of its transitive subclasses.
+    pub fn is_subtype(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.subtypes[sup.index()].binary_search(&sub).is_ok()
+    }
+
+    /// Class-hierarchy-analysis dispatch targets: the set of concrete methods
+    /// a virtual call `declared.name()` may reach, assuming the receiver can
+    /// be any subtype of `declared`.
+    ///
+    /// When `include_dynamic` is false, receivers from
+    /// [`Origin::Dynamic`](crate::Origin::Dynamic) classes are skipped —
+    /// matching what a static analysis that has not seen those classes would
+    /// compute.
+    pub fn cha_targets(
+        &self,
+        program: &Program,
+        declared: ClassId,
+        name: Symbol,
+        include_dynamic: bool,
+    ) -> Vec<MethodId> {
+        let mut out = Vec::new();
+        for &sub in self.subtypes(declared) {
+            if !include_dynamic && program.class(sub).origin() == crate::Origin::Dynamic {
+                continue;
+            }
+            if let Some(m) = program.resolve(sub, name) {
+                out.push(m);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::MethodKind;
+    use crate::stmt::Receiver;
+
+    fn diamondish() -> (Program, ClassId, ClassId, ClassId, ClassId) {
+        // A <- B <- C,  A <- D
+        let mut b = ProgramBuilder::new("t");
+        let a = b.add_class("A", None);
+        let bb = b.add_class("B", Some(a));
+        let c = b.add_class("C", Some(bb));
+        let d = b.add_class("D", Some(a));
+        b.method(a, "f", MethodKind::Virtual).finish();
+        b.method(c, "f", MethodKind::Virtual).finish();
+        b.method(d, "f", MethodKind::Virtual).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(a, "f", Receiver::Fixed(c));
+            })
+            .finish();
+        b.entry(main);
+        (b.finish().unwrap(), a, bb, c, d)
+    }
+
+    #[test]
+    fn subtype_closure_includes_self_and_transitive() {
+        let (p, a, bb, c, d) = diamondish();
+        let h = Hierarchy::new(&p);
+        assert_eq!(h.subtypes(a), &[a, bb, c, d]);
+        assert_eq!(h.subtypes(bb), &[bb, c]);
+        assert!(h.is_subtype(c, a));
+        assert!(!h.is_subtype(a, c));
+        assert!(h.is_subtype(d, d));
+        assert!(!h.is_subtype(d, bb));
+    }
+
+    #[test]
+    fn cha_targets_collect_overrides_and_inherited() {
+        let (p, a, bb, _c, _d) = diamondish();
+        let h = Hierarchy::new(&p);
+        let f = p.symbols().lookup("f").unwrap();
+        // Receiver may be A (A.f), B (inherits A.f), C (C.f), D (D.f).
+        let targets = h.cha_targets(&p, a, f, true);
+        assert_eq!(targets.len(), 3); // A.f, C.f, D.f
+        let targets_b = h.cha_targets(&p, bb, f, true);
+        assert_eq!(targets_b.len(), 2); // A.f (via B), C.f
+    }
+
+    #[test]
+    fn cha_skips_dynamic_classes_when_asked() {
+        let mut b = ProgramBuilder::new("dyn");
+        let a = b.add_class("A", None);
+        let x = b.add_class_full("X", Some(a), crate::Origin::Dynamic, crate::Scope::Application);
+        b.method(a, "f", MethodKind::Virtual).finish();
+        b.method(x, "f", MethodKind::Virtual).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(a, "f", Receiver::Cycle(vec![a, x]));
+            })
+            .finish();
+        b.entry(main);
+        let p = b.finish().unwrap();
+        let h = Hierarchy::new(&p);
+        let f = p.symbols().lookup("f").unwrap();
+        assert_eq!(h.cha_targets(&p, a, f, true).len(), 2);
+        assert_eq!(h.cha_targets(&p, a, f, false).len(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Compact typed identifiers for program entities.
+//!
+//! All arenas in a [`crate::Program`] are indexed by dense `u32` newtypes, so
+//! analyses can use plain `Vec`s keyed by id instead of hash maps.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the dense arena index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            pub fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a [`crate::Class`] within a [`crate::Program`].
+    ClassId,
+    "c"
+);
+define_id!(
+    /// Identifies a [`crate::Method`] within a [`crate::Program`].
+    ///
+    /// Methods are the nodes of the call graph; the encoding algorithms and
+    /// the runtime both address methods by this id.
+    MethodId,
+    "m"
+);
+define_id!(
+    /// Identifies a [`crate::CallSite`] within a [`crate::Program`].
+    ///
+    /// A site is the analog of a bytecode index inside a caller: one site may
+    /// dispatch to several callees (virtual call), and one caller may reach
+    /// the same callee from several sites.
+    SiteId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = MethodId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ClassId::from_index(3).to_string(), "c3");
+        assert_eq!(MethodId::from_index(7).to_string(), "m7");
+        assert_eq!(SiteId::from_index(0).to_string(), "s0");
+        assert_eq!(format!("{:?}", SiteId::from_index(9)), "s9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(MethodId::from_index(1) < MethodId::from_index(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflows u32")]
+    fn from_index_rejects_huge_values() {
+        let _ = ClassId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

@@ -1,0 +1,745 @@
+//! A textual format for programs — the exact inverse of the
+//! [`Display`](std::fmt::Display) listing, so programs can be written by
+//! hand, stored in files, and round-tripped losslessly:
+//!
+//! ```text
+//! program demo {
+//!   class Shape {
+//!     fn draw() work=1 {
+//!       observe 0
+//!     }
+//!   }
+//!   class Circle : Shape {
+//!     fn draw() work=3 {
+//!     }
+//!   }
+//!   library class Helper {
+//!     static fn util() work=0 {
+//!     }
+//!   }
+//!   dynamic class Plugin : Shape {
+//!     fn draw() work=0 {
+//!     }
+//!   }
+//!   class Main {
+//!     static fn main() work=0 { // entry
+//!       loop 3 {
+//!         vcall Shape.draw() recv=cycle[Circle,Shape] arg=param+1
+//!       }
+//!       call Helper.util()
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Trailing `// …` comments are ignored except for the `// entry` marker on
+//! a method header, which designates the program entry.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{BodyBuilder, ProgramBuilder};
+use crate::ids::ClassId;
+use crate::program::{MethodKind, Program};
+use crate::stmt::{ArgExpr, Receiver};
+use crate::validate::ValidationError;
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<ValidationError> for ParseError {
+    fn from(e: ValidationError) -> Self {
+        ParseError {
+            line: 0,
+            message: format!("validation failed: {e}"),
+        }
+    }
+}
+
+/// Parses the textual program format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic or semantic
+/// problem (including validation failures from the underlying builder).
+///
+/// # Example
+///
+/// ```
+/// let text = "\
+/// program tiny {
+///   class C {
+///     static fn leaf() work=2 {
+///     }
+///     static fn main() { // entry
+///       call C.leaf()
+///     }
+///   }
+/// }";
+/// let program = deltapath_ir::parse_program(text)?;
+/// assert_eq!(program.methods().len(), 2);
+/// // The listing parses back to an identical program.
+/// let again = deltapath_ir::parse_program(&program.to_string())?;
+/// assert_eq!(program.to_string(), again.to_string());
+/// # Ok::<(), deltapath_ir::ParseError>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    Parser::new(text).parse()
+}
+
+struct Line<'a> {
+    number: usize,
+    content: &'a str,
+    is_entry_marked: bool,
+}
+
+struct Parser<'a> {
+    lines: Vec<Line<'a>>,
+    pos: usize,
+    /// The method carrying the `// entry` marker, once built.
+    entry_id: Option<crate::ids::MethodId>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .filter_map(|(i, raw)| {
+                let is_entry_marked = raw.contains("// entry");
+                let content = match raw.find("//") {
+                    Some(ix) => &raw[..ix],
+                    None => raw,
+                };
+                let content = content.trim();
+                if content.is_empty() {
+                    None
+                } else {
+                    Some(Line {
+                        number: i + 1,
+                        content,
+                        is_entry_marked,
+                    })
+                }
+            })
+            .collect();
+        Self {
+            lines,
+            pos: 0,
+            entry_id: None,
+        }
+    }
+
+    fn err<T>(&self, line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Line<'a>> {
+        self.lines.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Line<'a>> {
+        let line = self.lines.get(self.pos);
+        if line.is_some() {
+            self.pos += 1;
+        }
+        line
+    }
+
+    fn parse(mut self) -> Result<Program, ParseError> {
+        // First pass: collect class declarations so forward references in
+        // receiver lists and `: Super` clauses resolve. Classes must still
+        // appear parents-first (builder requirement), matching the listing.
+        let header = self
+            .lines
+            .first()
+            .ok_or(ParseError {
+                line: 1,
+                message: "empty input".into(),
+            })?
+            .content;
+        let name = header
+            .strip_prefix("program ")
+            .and_then(|r| r.strip_suffix('{'))
+            .map(str::trim)
+            .ok_or(ParseError {
+                line: 1,
+                message: "expected `program <name> {`".into(),
+            })?
+            .to_owned();
+        self.pos = 1;
+
+        let mut b = ProgramBuilder::new(name);
+        let mut entry: Option<(String, String)> = None; // (class, method)
+
+        // Pass 1: register every class up front so statements may reference
+        // classes declared later in the listing. Superclasses still appear
+        // parents-first (the builder requires it, and the listing preserves
+        // declaration order).
+        let mut depth = 1usize;
+        for line in &self.lines[1..] {
+            let content = line.content;
+            if depth == 1 {
+                if let Some((class_name, super_name, dynamic, library)) =
+                    parse_class_header(content)
+                {
+                    let super_id = match super_name {
+                        Some(sup) => Some(b.class_id(sup).ok_or(ParseError {
+                            line: line.number,
+                            message: format!(
+                                "unknown superclass {sup:?} (classes must be declared parents-first)"
+                            ),
+                        })?),
+                        None => None,
+                    };
+                    if dynamic {
+                        b.add_dynamic_class(class_name, super_id);
+                    } else if library {
+                        b.add_library_class(class_name, super_id);
+                    } else {
+                        b.add_class(class_name, super_id);
+                    }
+                }
+            }
+            depth += content.matches('{').count();
+            depth = depth.saturating_sub(content.matches('}').count());
+        }
+
+        // Pass 2: parse bodies.
+        loop {
+            let Some(line) = self.next() else {
+                return self.err(0, "unexpected end of input (missing `}`)");
+            };
+            let (number, content) = (line.number, line.content);
+            if content == "}" {
+                break;
+            }
+            let Some((class_name, _, _, _)) = parse_class_header(content) else {
+                return self.err(number, format!("expected class declaration, got {content:?}"));
+            };
+            let class_name = class_name.to_owned();
+            let class = self.class_id(&b, number, &class_name)?;
+            self.parse_class_body(&mut b, class, &class_name, &mut entry)?;
+        }
+
+        let (entry_class, entry_method) = entry.ok_or(ParseError {
+            line: 0,
+            message: "no method carries the `// entry` marker".into(),
+        })?;
+        let entry_id = self.entry_id.ok_or(ParseError {
+            line: 0,
+            message: format!("entry method {entry_class}.{entry_method} not found"),
+        })?;
+        b.entry(entry_id);
+        b.finish().map_err(ParseError::from)
+    }
+
+    fn class_id(
+        &self,
+        b: &ProgramBuilder,
+        line: usize,
+        name: &str,
+    ) -> Result<ClassId, ParseError> {
+        b.class_id(name).ok_or(ParseError {
+            line,
+            message: format!("unknown class {name:?} (classes must be declared parents-first)"),
+        })
+    }
+
+    fn parse_class_body(
+        &mut self,
+        b: &mut ProgramBuilder,
+        class: ClassId,
+        class_name: &str,
+        entry: &mut Option<(String, String)>,
+    ) -> Result<(), ParseError> {
+        loop {
+            let Some(line) = self.next() else {
+                return self.err(0, "unexpected end of input in class body");
+            };
+            let number = line.number;
+            let content = line.content;
+            let entry_marked = line.is_entry_marked;
+            if content == "}" {
+                return Ok(());
+            }
+            // Method header: [static|final] fn name() [work=N] {
+            let mut rest = content;
+            let kind = if let Some(r) = rest.strip_prefix("static ") {
+                rest = r;
+                MethodKind::Static
+            } else if let Some(r) = rest.strip_prefix("final ") {
+                rest = r;
+                MethodKind::Final
+            } else {
+                MethodKind::Virtual
+            };
+            let Some(r) = rest.strip_prefix("fn ") else {
+                return self.err(number, format!("expected method declaration, got {content:?}"));
+            };
+            let Some(r) = r.trim_end().strip_suffix('{') else {
+                return self.err(number, "method header must end with `{`");
+            };
+            let r = r.trim();
+            let (sig, work_part) = match r.split_once(" work=") {
+                Some((sig, w)) => (sig.trim(), Some(w.trim())),
+                None => (r, None),
+            };
+            let Some(method_name) = sig.strip_suffix("()") else {
+                return self.err(number, "method name must be followed by `()`");
+            };
+            let work: u32 = match work_part {
+                Some(w) => w
+                    .parse()
+                    .map_err(|_| ParseError {
+                        line: number,
+                        message: format!("bad work value {w:?}"),
+                    })?,
+                None => 0,
+            };
+            if entry_marked {
+                *entry = Some((class_name.to_owned(), method_name.to_owned()));
+            }
+            let stmts = self.parse_block(b, number)?;
+            let want_entry = entry_marked;
+            let mb = b.method(class, method_name, kind).work(work);
+            let id = mb
+                .body(|f| {
+                    emit_all(f, &stmts);
+                })
+                .finish();
+            if want_entry {
+                self.entry_id = Some(id);
+            }
+        }
+    }
+
+    /// Parses statements until the matching `}` (consumed).
+    fn parse_block(
+        &mut self,
+        b: &ProgramBuilder,
+        open_line: usize,
+    ) -> Result<Vec<PStmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let Some(line) = self.next() else {
+                return self.err(open_line, "unclosed block");
+            };
+            let number = line.number;
+            let content = line.content.to_owned();
+            if content == "}" {
+                return Ok(out);
+            }
+            if content == "} else {" {
+                // Handled by the `if` parser via backtracking.
+                self.pos -= 1;
+                return Ok(out);
+            }
+            let stmt = self.parse_stmt(b, number, &content)?;
+            out.push(stmt);
+        }
+    }
+
+    fn parse_stmt(
+        &mut self,
+        b: &ProgramBuilder,
+        number: usize,
+        content: &str,
+    ) -> Result<PStmt, ParseError> {
+        if let Some(rest) = content.strip_prefix("work ") {
+            let units = rest.trim().parse().map_err(|_| ParseError {
+                line: number,
+                message: format!("bad work units {rest:?}"),
+            })?;
+            return Ok(PStmt::Work(units));
+        }
+        if let Some(rest) = content.strip_prefix("observe ") {
+            let ev = rest.trim().parse().map_err(|_| ParseError {
+                line: number,
+                message: format!("bad observe event {rest:?}"),
+            })?;
+            return Ok(PStmt::Observe(ev));
+        }
+        if let Some(rest) = content.strip_prefix("load ") {
+            let class = self.class_id(b, number, rest.trim())?;
+            return Ok(PStmt::Load(class));
+        }
+        if let Some(rest) = content.strip_prefix("loop ") {
+            let Some(r) = rest.trim_end().strip_suffix('{') else {
+                return self.err(number, "loop header must end with `{`");
+            };
+            let r = r.trim();
+            let (count_str, bind) = match r.strip_suffix(" bind") {
+                Some(c) => (c.trim(), true),
+                None => match r.strip_suffix("bind") {
+                    Some(c) if c.ends_with(' ') => (c.trim(), true),
+                    _ => (r, false),
+                },
+            };
+            let count = count_str.parse().map_err(|_| ParseError {
+                line: number,
+                message: format!("bad loop count {count_str:?}"),
+            })?;
+            let body = self.parse_block(b, number)?;
+            return Ok(PStmt::Loop { count, bind, body });
+        }
+        if let Some(rest) = content.strip_prefix("if param % ") {
+            // `if param % M == R {`
+            let Some(r) = rest.trim_end().strip_suffix('{') else {
+                return self.err(number, "if header must end with `{`");
+            };
+            let Some((m, eq)) = r.split_once("==") else {
+                return self.err(number, "if header must contain `==`");
+            };
+            let modulus = m.trim().parse().map_err(|_| ParseError {
+                line: number,
+                message: format!("bad modulus {m:?}"),
+            })?;
+            let equals = eq.trim().parse().map_err(|_| ParseError {
+                line: number,
+                message: format!("bad remainder {eq:?}"),
+            })?;
+            let then_branch = self.parse_block(b, number)?;
+            // An optional `} else {` follows (parse_block backtracked on it).
+            let else_branch = if self
+                .peek()
+                .map(|l| l.content == "} else {")
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+                self.parse_block(b, number)?
+            } else {
+                Vec::new()
+            };
+            return Ok(PStmt::If {
+                modulus,
+                equals,
+                then_branch,
+                else_branch,
+            });
+        }
+        if content.starts_with("call ") || content.starts_with("vcall ") {
+            return self.parse_call(b, number, content);
+        }
+        self.err(number, format!("unrecognized statement {content:?}"))
+    }
+
+    fn parse_call(
+        &mut self,
+        b: &ProgramBuilder,
+        number: usize,
+        content: &str,
+    ) -> Result<PStmt, ParseError> {
+        let (is_virtual, rest) = match content.strip_prefix("vcall ") {
+            Some(r) => (true, r),
+            None => (false, content.strip_prefix("call ").expect("checked")),
+        };
+        let mut parts = rest.split_whitespace();
+        let target = parts.next().ok_or(ParseError {
+            line: number,
+            message: "missing call target".into(),
+        })?;
+        let Some(target) = target.strip_suffix("()") else {
+            return self.err(number, "call target must end with `()`");
+        };
+        let Some((class_name, method_name)) = target.rsplit_once('.') else {
+            return self.err(number, "call target must be `Class.method`");
+        };
+        let declared = self.class_id(b, number, class_name)?;
+
+        let mut receiver: Option<Receiver> = None;
+        let mut arg = ArgExpr::Const(0);
+        for part in parts {
+            if let Some(r) = part.strip_prefix("recv=") {
+                receiver = Some(self.parse_receiver(b, number, r)?);
+            } else if let Some(a) = part.strip_prefix("arg=") {
+                arg = self.parse_arg(number, a)?;
+            } else {
+                return self.err(number, format!("unrecognized call attribute {part:?}"));
+            }
+        }
+        if is_virtual && receiver.is_none() {
+            return self.err(number, "vcall requires a recv=... attribute");
+        }
+        if !is_virtual && receiver.is_some() {
+            return self.err(number, "plain call must not have a receiver");
+        }
+        Ok(PStmt::Call {
+            declared,
+            method: method_name.to_owned(),
+            receiver,
+            arg,
+        })
+    }
+
+    fn parse_receiver(
+        &self,
+        b: &ProgramBuilder,
+        number: usize,
+        text: &str,
+    ) -> Result<Receiver, ParseError> {
+        let classes = |list: &str| -> Result<Vec<ClassId>, ParseError> {
+            list.split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| self.class_id(b, number, s.trim()))
+                .collect()
+        };
+        if let Some(r) = text.strip_prefix("cycle[").and_then(|r| r.strip_suffix(']')) {
+            return Ok(Receiver::Cycle(classes(r)?));
+        }
+        if let Some(r) = text
+            .strip_prefix("byparam[")
+            .and_then(|r| r.strip_suffix(']'))
+        {
+            return Ok(Receiver::ByParam(classes(r)?));
+        }
+        if let Some(r) = text.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let list = classes(r)?;
+            if list.len() == 1 {
+                return Ok(Receiver::Fixed(list[0]));
+            }
+            return self.err(number, "fixed receiver takes exactly one class");
+        }
+        self.err(number, format!("unrecognized receiver {text:?}"))
+    }
+
+    fn parse_arg(&self, number: usize, text: &str) -> Result<ArgExpr, ParseError> {
+        if text == "param" {
+            return Ok(ArgExpr::Param);
+        }
+        if let Some(c) = text.strip_prefix("param+") {
+            let n = c.parse().map_err(|_| ParseError {
+                line: number,
+                message: format!("bad arg increment {c:?}"),
+            })?;
+            return Ok(ArgExpr::ParamPlus(n));
+        }
+        let n = text.parse().map_err(|_| ParseError {
+            line: number,
+            message: format!("bad arg {text:?}"),
+        })?;
+        Ok(ArgExpr::Const(n))
+    }
+}
+
+/// Parses `[dynamic] [library] class Name [: Super] {`, returning
+/// `(name, super, dynamic, library)`.
+fn parse_class_header(content: &str) -> Option<(&str, Option<&str>, bool, bool)> {
+    let mut rest = content;
+    let mut dynamic = false;
+    let mut library = false;
+    if let Some(r) = rest.strip_prefix("dynamic ") {
+        dynamic = true;
+        rest = r.trim_start();
+    }
+    if let Some(r) = rest.strip_prefix("library ") {
+        library = true;
+        rest = r.trim_start();
+    }
+    let r = rest.strip_prefix("class ")?;
+    let r = r.trim_end().strip_suffix('{')?;
+    let r = r.trim();
+    let (name, sup) = match r.split_once(':') {
+        Some((n, s)) => (n.trim(), Some(s.trim())),
+        None => (r, None),
+    };
+    Some((name, sup, dynamic, library))
+}
+
+/// Parsed statement (receiver/class references already resolved).
+enum PStmt {
+    Call {
+        declared: ClassId,
+        method: String,
+        receiver: Option<Receiver>,
+        arg: ArgExpr,
+    },
+    Work(u32),
+    Observe(u32),
+    Load(ClassId),
+    Loop {
+        count: u32,
+        bind: bool,
+        body: Vec<PStmt>,
+    },
+    If {
+        modulus: u32,
+        equals: u32,
+        then_branch: Vec<PStmt>,
+        else_branch: Vec<PStmt>,
+    },
+}
+
+fn emit_all(f: &mut BodyBuilder<'_>, stmts: &[PStmt]) {
+    for stmt in stmts {
+        match stmt {
+            PStmt::Call {
+                declared,
+                method,
+                receiver,
+                arg,
+            } => match receiver {
+                Some(r) => {
+                    f.vcall_arg(*declared, method, r.clone(), *arg);
+                }
+                None => {
+                    f.call_arg(*declared, method, *arg);
+                }
+            },
+            PStmt::Work(units) => f.work(*units),
+            PStmt::Observe(ev) => f.observe(*ev),
+            PStmt::Load(class) => f.load_class(*class),
+            PStmt::Loop { count, bind, body } => {
+                let emit = |f: &mut BodyBuilder<'_>| emit_all(f, body);
+                if *bind {
+                    f.loop_bind(*count, emit);
+                } else {
+                    f.loop_(*count, emit);
+                }
+            }
+            PStmt::If {
+                modulus,
+                equals,
+                then_branch,
+                else_branch,
+            } => {
+                f.if_mod(
+                    *modulus,
+                    *equals,
+                    |f| emit_all(f, then_branch),
+                    |f| emit_all(f, else_branch),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Origin, Scope};
+
+    const DEMO: &str = "\
+program demo {
+  class Shape {
+    fn draw() work=1 {
+      observe 0
+    }
+  }
+  class Circle : Shape {
+    fn draw() work=3 {
+    }
+  }
+  library class Helper {
+    static fn util() {
+      work 7
+    }
+  }
+  dynamic class Plugin : Shape {
+    fn draw() {
+    }
+  }
+  class Main {
+    static fn main() { // entry
+      loop 3 bind {
+        vcall Shape.draw() recv=cycle[Circle,Shape] arg=param+1
+      }
+      if param % 2 == 1 {
+        call Helper.util()
+      } else {
+        vcall Shape.draw() recv=[Circle]
+        load Plugin
+      }
+    }
+  }
+}";
+
+    #[test]
+    fn parses_all_features() {
+        let p = parse_program(DEMO).unwrap();
+        assert_eq!(p.classes().len(), 5);
+        assert_eq!(p.methods().len(), 5);
+        assert_eq!(p.sites().len(), 3);
+        let helper = p.class_by_name("Helper").unwrap();
+        assert_eq!(p.class(helper).scope(), Scope::Library);
+        let plugin = p.class_by_name("Plugin").unwrap();
+        assert_eq!(p.class(plugin).origin(), Origin::Dynamic);
+        assert_eq!(p.method_name(p.entry()), "Main.main");
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let p = parse_program(DEMO).unwrap();
+        let listing = p.to_string();
+        let again = parse_program(&listing).unwrap();
+        assert_eq!(listing, again.to_string());
+    }
+
+    #[test]
+    fn reports_unknown_class_with_line() {
+        let text = "program x {\n  class A : Missing {\n  }\n}";
+        let err = parse_program(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("Missing"));
+    }
+
+    #[test]
+    fn requires_entry_marker() {
+        let text = "program x {\n  class A {\n    static fn main() {\n    }\n  }\n}";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.message.contains("entry"));
+    }
+
+    #[test]
+    fn rejects_vcall_without_receiver() {
+        let text = "\
+program x {
+  class A {
+    fn f() {
+    }
+    static fn main() { // entry
+      vcall A.f()
+    }
+  }
+}";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.message.contains("recv"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let text = "\
+program x {
+  class A {
+    static fn main() { // entry
+      call A.missing()
+    }
+  }
+}";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.message.contains("validation failed"));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("not a program").is_err());
+    }
+}

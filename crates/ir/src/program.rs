@@ -1,0 +1,321 @@
+//! The program container: classes, methods, call sites.
+
+use std::collections::HashMap;
+
+use crate::ids::{ClassId, MethodId, SiteId};
+use crate::stmt::{ArgExpr, CallKind, Receiver, Stmt};
+use crate::symbols::{Symbol, SymbolTable};
+
+/// Whether a class is visible to static analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Present in the static class path; the call-graph builder sees it.
+    Static,
+    /// Loaded at runtime (models `ClassLoader`-loaded plugins); invisible to
+    /// static analysis, and therefore never instrumented. Calls into and out
+    /// of such classes produce the paper's *unexpected call paths*.
+    Dynamic,
+}
+
+/// Whether a class belongs to the application or to supporting libraries.
+///
+/// The paper's *encoding-application* setting (Section 4.2) excludes
+/// [`Scope::Library`] classes from encoding; call-path tracking keeps the
+/// encoding correct across the excluded region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Application code — always of interest.
+    Application,
+    /// Library / JDK-like code — excluded under selective encoding.
+    Library,
+}
+
+/// How a method may be invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// A static method (no receiver; direct calls only).
+    Static,
+    /// An overridable instance method (virtual dispatch applies).
+    Virtual,
+    /// A non-overridable instance method (`final`/`private`); dispatch is
+    /// static even from virtual-looking sites.
+    Final,
+}
+
+/// A class: a named collection of methods with an optional superclass.
+#[derive(Clone, Debug)]
+pub struct Class {
+    pub(crate) id: ClassId,
+    pub(crate) name: String,
+    pub(crate) super_class: Option<ClassId>,
+    pub(crate) methods: Vec<MethodId>,
+    pub(crate) origin: Origin,
+    pub(crate) scope: Scope,
+}
+
+impl Class {
+    /// The class id.
+    pub fn id(&self) -> ClassId {
+        self.id
+    }
+
+    /// The class name (unique within the program).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The direct superclass, if any.
+    pub fn super_class(&self) -> Option<ClassId> {
+        self.super_class
+    }
+
+    /// Methods declared directly on this class (not inherited ones).
+    pub fn methods(&self) -> &[MethodId] {
+        &self.methods
+    }
+
+    /// Static-analysis visibility.
+    pub fn origin(&self) -> Origin {
+        self.origin
+    }
+
+    /// Application/library scope.
+    pub fn scope(&self) -> Scope {
+        self.scope
+    }
+}
+
+/// A method: the unit node of the call graph.
+#[derive(Clone, Debug)]
+pub struct Method {
+    pub(crate) id: MethodId,
+    pub(crate) class: ClassId,
+    pub(crate) name: Symbol,
+    pub(crate) kind: MethodKind,
+    pub(crate) work: u32,
+    pub(crate) body: Vec<Stmt>,
+}
+
+impl Method {
+    /// The method id.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// The declaring class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The interned method name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// The dispatch kind.
+    pub fn kind(&self) -> MethodKind {
+        self.kind
+    }
+
+    /// Baseline abstract work units burned per invocation, in addition to
+    /// any [`Stmt::Work`] in the body. Models the cost of the method's real
+    /// computation relative to its calls.
+    pub fn work(&self) -> u32 {
+        self.work
+    }
+
+    /// The method body.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+}
+
+/// A call site: one syntactic call instruction inside a caller.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub(crate) id: SiteId,
+    pub(crate) caller: MethodId,
+    pub(crate) kind: CallKind,
+    pub(crate) declared: ClassId,
+    pub(crate) method: Symbol,
+    pub(crate) receiver: Option<Receiver>,
+    pub(crate) arg: ArgExpr,
+}
+
+impl CallSite {
+    /// The site id (the analog of a bytecode index, globally unique here).
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The method containing this site.
+    pub fn caller(&self) -> MethodId {
+        self.caller
+    }
+
+    /// Static or virtual dispatch.
+    pub fn kind(&self) -> CallKind {
+        self.kind
+    }
+
+    /// The statically declared class of the callee (receiver type for
+    /// virtual calls, the target class for static calls).
+    pub fn declared(&self) -> ClassId {
+        self.declared
+    }
+
+    /// The callee method name.
+    pub fn method(&self) -> Symbol {
+        self.method
+    }
+
+    /// The receiver expression (virtual calls only).
+    pub fn receiver(&self) -> Option<&Receiver> {
+        self.receiver.as_ref()
+    }
+
+    /// The argument expression passed to the callee.
+    pub fn arg(&self) -> ArgExpr {
+        self.arg
+    }
+}
+
+/// A complete, validated program.
+///
+/// Construct via [`ProgramBuilder`](crate::ProgramBuilder); the builder's
+/// `finish` runs validation so every `Program` in existence is well-formed:
+/// the entry method exists, all sites resolve against the hierarchy, receiver
+/// lists are non-empty subclasses of the declared class, and class names are
+/// unique.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) classes: Vec<Class>,
+    pub(crate) methods: Vec<Method>,
+    pub(crate) sites: Vec<CallSite>,
+    pub(crate) entry: MethodId,
+    pub(crate) symbols: SymbolTable,
+    /// Memoized virtual-dispatch resolution: `(dynamic class, name) -> method`.
+    pub(crate) resolution: HashMap<(ClassId, Symbol), Option<MethodId>>,
+}
+
+impl Program {
+    /// The program name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All classes, indexed by [`ClassId`].
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// All methods, indexed by [`MethodId`].
+    pub fn methods(&self) -> &[Method] {
+        &self.methods
+    }
+
+    /// All call sites, indexed by [`SiteId`].
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// The entry method (the analog of `main`).
+    pub fn entry(&self) -> MethodId {
+        self.entry
+    }
+
+    /// The symbol table for method names.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Looks up a class by id.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// Looks up a method by id.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// Looks up a call site by id.
+    pub fn site(&self, id: SiteId) -> &CallSite {
+        &self.sites[id.index()]
+    }
+
+    /// Human-readable `Class.method` name of a method.
+    pub fn method_name(&self, id: MethodId) -> String {
+        let m = self.method(id);
+        format!(
+            "{}.{}",
+            self.class(m.class).name(),
+            self.symbols.resolve(m.name)
+        )
+    }
+
+    /// Finds a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes.iter().find(|c| c.name == name).map(|c| c.id)
+    }
+
+    /// Finds a method by `class` and name, considering only methods declared
+    /// directly on `class` (no inheritance).
+    pub fn declared_method(&self, class: ClassId, name: Symbol) -> Option<MethodId> {
+        self.classes[class.index()]
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| self.methods[m.index()].name == name)
+    }
+
+    /// Resolves a method reference against the hierarchy, walking from
+    /// `class` up through superclasses until a declaration is found — the
+    /// analog of JVM method resolution.
+    pub fn resolve(&self, class: ClassId, name: Symbol) -> Option<MethodId> {
+        if let Some(&cached) = self.resolution.get(&(class, name)) {
+            return cached;
+        }
+        self.resolve_uncached(class, name)
+    }
+
+    pub(crate) fn resolve_uncached(&self, class: ClassId, name: Symbol) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(m) = self.declared_method(c, name) {
+                return Some(m);
+            }
+            cur = self.classes[c.index()].super_class;
+        }
+        None
+    }
+
+    /// Whether a method belongs to a statically visible class.
+    pub fn is_static_origin(&self, method: MethodId) -> bool {
+        self.class(self.method(method).class).origin == Origin::Static
+    }
+
+    /// Whether a method belongs to an application-scope class.
+    pub fn is_application(&self, method: MethodId) -> bool {
+        self.class(self.method(method).class).scope == Scope::Application
+    }
+
+    /// Total number of `Call` statements across all method bodies.
+    ///
+    /// Equals `self.sites().len()` for builder-produced programs; exposed for
+    /// sanity checks.
+    pub fn count_call_stmts(&self) -> usize {
+        let mut n = 0;
+        for m in &self.methods {
+            for s in &m.body {
+                s.walk(&mut |st| {
+                    if matches!(st, Stmt::Call(_)) {
+                        n += 1;
+                    }
+                });
+            }
+        }
+        n
+    }
+}

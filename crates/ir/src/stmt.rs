@@ -1,0 +1,192 @@
+//! Statements forming method bodies, and call-site descriptors.
+
+use crate::ids::{ClassId, SiteId};
+
+/// How a call site selects its callee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// A direct call: the callee is resolved statically on the declared class
+    /// (models Java `invokestatic` / `invokespecial` / calls to `final`
+    /// methods). Exactly one dispatch target.
+    Static,
+    /// A virtual call: the callee is resolved at runtime from the receiver's
+    /// dynamic class (models `invokevirtual` / `invokeinterface`). Possibly
+    /// many dispatch targets.
+    Virtual,
+}
+
+/// The runtime receiver of a virtual call, expressed syntactically.
+///
+/// The IR has no heap, so instead of flowing object types through variables,
+/// each virtual site states how its receiver class is chosen. This keeps
+/// exact dispatch-target sets computable while letting class-hierarchy
+/// analysis over-approximate them (CHA ignores the receiver expression and
+/// uses the whole subclass closure of the declared class), which is the
+/// imprecision axis that inflates DeltaPath's encoding spaces.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Receiver {
+    /// Always the same class (a monomorphic virtual site).
+    Fixed(ClassId),
+    /// Rotates through the listed classes, one per execution of the site
+    /// (per-site counter, deterministic).
+    Cycle(Vec<ClassId>),
+    /// Selected by the caller's integer parameter: `classes[param % len]`.
+    ByParam(Vec<ClassId>),
+}
+
+impl Receiver {
+    /// All classes this receiver expression can evaluate to.
+    pub fn possible_classes(&self) -> &[ClassId] {
+        match self {
+            Receiver::Fixed(c) => std::slice::from_ref(c),
+            Receiver::Cycle(cs) | Receiver::ByParam(cs) => cs,
+        }
+    }
+}
+
+/// The integer argument passed to a callee.
+///
+/// Every method takes a single implicit `u32` parameter, which exists purely
+/// to drive deterministic control flow ([`Stmt::If`]) and dispatch
+/// ([`Receiver::ByParam`]) variety.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArgExpr {
+    /// A constant.
+    Const(u32),
+    /// The caller's own parameter.
+    Param,
+    /// The caller's parameter plus a constant (wrapping).
+    ParamPlus(u32),
+}
+
+impl ArgExpr {
+    /// Evaluates the expression given the caller's parameter value.
+    pub fn eval(self, param: u32) -> u32 {
+        match self {
+            ArgExpr::Const(c) => c,
+            ArgExpr::Param => param,
+            ArgExpr::ParamPlus(c) => param.wrapping_add(c),
+        }
+    }
+}
+
+/// A statement in a method body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Execute the call described by the [`CallSite`](crate::CallSite) with
+    /// this id. The site records callee, kind, receiver and argument.
+    Call(SiteId),
+    /// Burn `n` abstract work units (models straight-line computation; used
+    /// by the overhead model to set a realistic call-to-work ratio).
+    Work(u32),
+    /// Execute `body` `count` times. If `bind_param` is set, the loop index
+    /// replaces the method parameter inside the body.
+    Loop {
+        /// Number of iterations.
+        count: u32,
+        /// Whether the loop index becomes the visible parameter in `body`.
+        bind_param: bool,
+        /// Statements executed each iteration.
+        body: Vec<Stmt>,
+    },
+    /// Branch on the method parameter: executes `then_branch` when
+    /// `param % modulus == equals`, `else_branch` otherwise.
+    If {
+        /// Divisor applied to the parameter (must be non-zero).
+        modulus: u32,
+        /// Remainder selecting the then-branch.
+        equals: u32,
+        /// Taken when the test holds.
+        then_branch: Vec<Stmt>,
+        /// Taken otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// Force the named dynamic class to be loaded now (models
+    /// `Class.forName`). Loading is otherwise implicit on first dispatch.
+    LoadClass(ClassId),
+    /// An observation point: the runtime captures the current calling
+    /// context here, labelled with the given event id (models a logging call
+    /// or a profiling probe).
+    Observe(u32),
+}
+
+impl Stmt {
+    /// Depth-first iteration over this statement and all nested statements.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Stmt)) {
+        visit(self);
+        match self {
+            Stmt::Loop { body, .. } => {
+                for s in body {
+                    s.walk(visit);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    s.walk(visit);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+/// Collects every [`SiteId`] referenced anywhere in `body`, in program order.
+pub(crate) fn collect_sites(body: &[Stmt]) -> Vec<SiteId> {
+    let mut out = Vec::new();
+    for stmt in body {
+        stmt.walk(&mut |s| {
+            if let Stmt::Call(site) = s {
+                out.push(*site);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_expr_eval() {
+        assert_eq!(ArgExpr::Const(7).eval(3), 7);
+        assert_eq!(ArgExpr::Param.eval(3), 3);
+        assert_eq!(ArgExpr::ParamPlus(2).eval(3), 5);
+        assert_eq!(ArgExpr::ParamPlus(1).eval(u32::MAX), 0);
+    }
+
+    #[test]
+    fn receiver_possible_classes() {
+        let a = ClassId::from_index(0);
+        let b = ClassId::from_index(1);
+        assert_eq!(Receiver::Fixed(a).possible_classes(), &[a]);
+        assert_eq!(Receiver::Cycle(vec![a, b]).possible_classes(), &[a, b]);
+        assert_eq!(Receiver::ByParam(vec![b]).possible_classes(), &[b]);
+    }
+
+    #[test]
+    fn walk_visits_nested_statements() {
+        let s0 = SiteId::from_index(0);
+        let s1 = SiteId::from_index(1);
+        let stmt = Stmt::Loop {
+            count: 2,
+            bind_param: false,
+            body: vec![
+                Stmt::Call(s0),
+                Stmt::If {
+                    modulus: 2,
+                    equals: 0,
+                    then_branch: vec![Stmt::Call(s1)],
+                    else_branch: vec![Stmt::Work(1)],
+                },
+            ],
+        };
+        let sites = collect_sites(std::slice::from_ref(&stmt));
+        assert_eq!(sites, vec![s0, s1]);
+    }
+}

@@ -1,0 +1,129 @@
+//! String interning for method names.
+//!
+//! Method names are compared constantly during dispatch resolution; interning
+//! turns those comparisons into `u32` equality and lets resolution caches use
+//! dense tables.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful together with the [`SymbolTable`] that produced
+/// them (in practice, the one owned by the enclosing
+/// [`Program`](crate::Program)).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// # Example
+///
+/// ```
+/// use deltapath_ir::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("run");
+/// let b = table.intern("run");
+/// assert_eq!(a, b);
+/// assert_eq!(table.resolve(a), "run");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("too many symbols"));
+        self.strings.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a previously interned name without inserting.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        let c = t.intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("missing").is_none());
+        let s = t.intern("present");
+        assert_eq!(t.lookup("present"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn resolve_returns_original() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("main");
+        assert_eq!(t.resolve(s), "main");
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

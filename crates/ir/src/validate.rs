@@ -1,0 +1,273 @@
+//! Program well-formedness validation, run by
+//! [`ProgramBuilder::finish`](crate::ProgramBuilder::finish).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ClassId, SiteId};
+use crate::program::{Origin, Program};
+use crate::stmt::CallKind;
+use crate::stmt::Stmt;
+
+/// A structural problem detected while finishing a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// No entry method was designated.
+    MissingEntry,
+    /// The entry method's class is dynamically loaded, so no static analysis
+    /// could ever see the program root.
+    DynamicEntry,
+    /// A call site references a method that does not resolve on the given
+    /// class (walking superclasses).
+    UnresolvedSite {
+        /// The offending site.
+        site: SiteId,
+        /// The class resolution started from.
+        class: ClassId,
+        /// The method name that failed to resolve.
+        method: String,
+    },
+    /// A virtual site has an empty receiver list.
+    EmptyReceiver(SiteId),
+    /// A receiver class is not a subtype of the site's declared class.
+    ReceiverNotSubtype {
+        /// The offending site.
+        site: SiteId,
+        /// The receiver class that is out of the declared hierarchy.
+        class: ClassId,
+    },
+    /// An `If` statement has modulus zero.
+    ZeroModulus,
+    /// A `LoadClass` statement names a statically loaded class.
+    LoadOfStaticClass(ClassId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MissingEntry => write!(f, "no entry method designated"),
+            ValidationError::DynamicEntry => {
+                write!(f, "entry method belongs to a dynamically loaded class")
+            }
+            ValidationError::UnresolvedSite {
+                site,
+                class,
+                method,
+            } => write!(
+                f,
+                "call site {site} cannot resolve method {method:?} on class {class}"
+            ),
+            ValidationError::EmptyReceiver(site) => {
+                write!(f, "virtual call site {site} has an empty receiver list")
+            }
+            ValidationError::ReceiverNotSubtype { site, class } => write!(
+                f,
+                "call site {site} lists receiver {class} outside the declared hierarchy"
+            ),
+            ValidationError::ZeroModulus => write!(f, "`if` statement has modulus zero"),
+            ValidationError::LoadOfStaticClass(class) => {
+                write!(f, "LoadClass targets statically loaded class {class}")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Runs all structural checks on `program`.
+pub(crate) fn validate(program: &Program) -> Result<(), ValidationError> {
+    let entry_class = program.method(program.entry()).class();
+    if program.class(entry_class).origin() == Origin::Dynamic {
+        return Err(ValidationError::DynamicEntry);
+    }
+
+    for site in program.sites() {
+        match site.kind() {
+            CallKind::Static => {
+                if program
+                    .resolve_uncached(site.declared(), site.method())
+                    .is_none()
+                {
+                    return Err(unresolved(program, site.id(), site.declared()));
+                }
+            }
+            CallKind::Virtual => {
+                let receiver = site
+                    .receiver()
+                    .ok_or(ValidationError::EmptyReceiver(site.id()))?;
+                let classes = receiver.possible_classes();
+                if classes.is_empty() {
+                    return Err(ValidationError::EmptyReceiver(site.id()));
+                }
+                for &class in classes {
+                    if !is_subtype(program, class, site.declared()) {
+                        return Err(ValidationError::ReceiverNotSubtype {
+                            site: site.id(),
+                            class,
+                        });
+                    }
+                    if program.resolve_uncached(class, site.method()).is_none() {
+                        return Err(unresolved(program, site.id(), class));
+                    }
+                }
+            }
+        }
+    }
+
+    for method in program.methods() {
+        for stmt in method.body() {
+            let mut err = None;
+            stmt.walk(&mut |s| {
+                if err.is_some() {
+                    return;
+                }
+                match s {
+                    Stmt::If { modulus: 0, .. } => err = Some(ValidationError::ZeroModulus),
+                    Stmt::LoadClass(c) if program.class(*c).origin() == Origin::Static => {
+                        err = Some(ValidationError::LoadOfStaticClass(*c));
+                    }
+                    _ => {}
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn unresolved(program: &Program, site: SiteId, class: ClassId) -> ValidationError {
+    let name = program.site(site).method();
+    ValidationError::UnresolvedSite {
+        site,
+        class,
+        method: program.symbols().resolve(name).to_owned(),
+    }
+}
+
+fn is_subtype(program: &Program, mut sub: ClassId, sup: ClassId) -> bool {
+    loop {
+        if sub == sup {
+            return true;
+        }
+        match program.class(sub).super_class() {
+            Some(parent) => sub = parent,
+            None => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::MethodKind;
+    use crate::stmt::Receiver;
+
+    #[test]
+    fn unresolved_static_call_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.add_class("C", None);
+        let main = b
+            .method(c, "main", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "nonexistent");
+            })
+            .finish();
+        b.entry(main);
+        assert!(matches!(
+            b.finish(),
+            Err(ValidationError::UnresolvedSite { .. })
+        ));
+    }
+
+    #[test]
+    fn receiver_outside_hierarchy_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.add_class("A", None);
+        let unrelated = b.add_class("U", None);
+        b.method(a, "f", MethodKind::Virtual).finish();
+        b.method(unrelated, "f", MethodKind::Virtual).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(a, "f", Receiver::Fixed(unrelated));
+            })
+            .finish();
+        b.entry(main);
+        assert!(matches!(
+            b.finish(),
+            Err(ValidationError::ReceiverNotSubtype { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_receiver_list_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.add_class("A", None);
+        b.method(a, "f", MethodKind::Virtual).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(a, "f", Receiver::Cycle(vec![]));
+            })
+            .finish();
+        b.entry(main);
+        assert!(matches!(b.finish(), Err(ValidationError::EmptyReceiver(_))));
+    }
+
+    #[test]
+    fn zero_modulus_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.add_class("A", None);
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.if_mod(0, 0, |_| {}, |_| {});
+            })
+            .finish();
+        b.entry(main);
+        assert_eq!(b.finish().unwrap_err(), ValidationError::ZeroModulus);
+    }
+
+    #[test]
+    fn dynamic_entry_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.add_dynamic_class("A", None);
+        let main = b.method(a, "main", MethodKind::Static).finish();
+        b.entry(main);
+        assert_eq!(b.finish().unwrap_err(), ValidationError::DynamicEntry);
+    }
+
+    #[test]
+    fn load_of_static_class_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.add_class("A", None);
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| f.load_class(a))
+            .finish();
+        b.entry(main);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidationError::LoadOfStaticClass(a)
+        );
+    }
+
+    #[test]
+    fn inherited_resolution_is_accepted() {
+        let mut b = ProgramBuilder::new("t");
+        let base = b.add_class("Base", None);
+        let derived = b.add_class("Derived", Some(base));
+        b.method(base, "f", MethodKind::Virtual).finish();
+        let main = b
+            .method(base, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(base, "f", Receiver::Fixed(derived));
+            })
+            .finish();
+        b.entry(main);
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,220 @@
+//! Collection of captured contexts and dynamic statistics.
+
+use std::collections::HashSet;
+
+use deltapath_core::RelativeLog;
+use deltapath_ir::MethodId;
+
+use crate::encoder::Capture;
+
+/// Receives captured contexts during a run.
+pub trait Collector {
+    /// Called at the entry of every collected method (see
+    /// [`CollectMode`](crate::CollectMode)); `true_depth` is the number of
+    /// in-scope frames on the interpreter's real call stack.
+    fn record_entry(&mut self, method: MethodId, true_depth: usize, capture: Capture);
+
+    /// Called at every `Observe` statement.
+    fn record_observe(&mut self, event: u32, method: MethodId, capture: Capture);
+}
+
+/// A collector that drops everything (for pure overhead measurements).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record_entry(&mut self, _method: MethodId, _true_depth: usize, _capture: Capture) {}
+    fn record_observe(&mut self, _event: u32, _method: MethodId, _capture: Capture) {}
+}
+
+/// A collector that stores observed events verbatim (for the logging /
+/// decoding examples and tests).
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    /// `(event label, method, capture)` triples in observation order.
+    pub events: Vec<(u32, MethodId, Capture)>,
+}
+
+impl Collector for EventLog {
+    fn record_entry(&mut self, _method: MethodId, _true_depth: usize, _capture: Capture) {}
+
+    fn record_observe(&mut self, event: u32, method: MethodId, capture: Capture) {
+        self.events.push((event, method, capture));
+    }
+}
+
+/// A collector that stores DeltaPath captures delta-compressed in a
+/// [`RelativeLog`] (the paper's Section 8 relative encoding): successive
+/// contexts share most of their stack, so the log stores only the new
+/// frames of each.
+#[derive(Clone, Debug, Default)]
+pub struct RelativeCollector {
+    /// The compressed log of entry captures.
+    pub log: RelativeLog,
+    /// Captures that were not DeltaPath contexts (and were dropped).
+    pub skipped: u64,
+}
+
+impl Collector for RelativeCollector {
+    fn record_entry(&mut self, _method: MethodId, _true_depth: usize, capture: Capture) {
+        match capture {
+            Capture::Delta(ctx) => self.log.push(&ctx),
+            _ => self.skipped += 1,
+        }
+    }
+
+    fn record_observe(&mut self, _event: u32, _method: MethodId, capture: Capture) {
+        if let Capture::Delta(ctx) = capture {
+            self.log.push(&ctx);
+        }
+    }
+}
+
+/// Streaming statistics over entry captures: the paper's Table 2 columns.
+#[derive(Clone, Debug, Default)]
+pub struct ContextStats {
+    /// Total number of collected calling contexts.
+    pub total_contexts: u64,
+    /// Maximum true context depth (number of in-scope active methods).
+    pub max_depth: usize,
+    /// Sum of true depths (for the average).
+    depth_sum: u64,
+    /// Distinct captured values.
+    unique: HashSet<Capture>,
+    /// Maximum DeltaPath stack depth observed.
+    pub max_stack_depth: usize,
+    /// Sum of DeltaPath stack depths.
+    stack_depth_sum: u64,
+    /// Maximum hazardous-UCP count in one context.
+    pub max_ucp: usize,
+    /// Sum of per-context UCP counts.
+    ucp_sum: u64,
+    /// Maximum dynamic encoding ID observed.
+    pub max_id: u64,
+}
+
+impl ContextStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct captured values.
+    pub fn unique_contexts(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Average true context depth.
+    pub fn avg_depth(&self) -> f64 {
+        if self.total_contexts == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.total_contexts as f64
+        }
+    }
+
+    /// Average DeltaPath stack depth.
+    pub fn avg_stack_depth(&self) -> f64 {
+        if self.total_contexts == 0 {
+            0.0
+        } else {
+            self.stack_depth_sum as f64 / self.total_contexts as f64
+        }
+    }
+
+    /// Average hazardous-UCP count per context.
+    pub fn avg_ucp(&self) -> f64 {
+        if self.total_contexts == 0 {
+            0.0
+        } else {
+            self.ucp_sum as f64 / self.total_contexts as f64
+        }
+    }
+
+    fn absorb(&mut self, true_depth: usize, capture: Capture) {
+        self.total_contexts += 1;
+        self.max_depth = self.max_depth.max(true_depth);
+        self.depth_sum += true_depth as u64;
+        if let Capture::Delta(ctx) = &capture {
+            self.max_stack_depth = self.max_stack_depth.max(ctx.depth());
+            self.stack_depth_sum += ctx.depth() as u64;
+            let ucp = ctx.ucp_count();
+            self.max_ucp = self.max_ucp.max(ucp);
+            self.ucp_sum += ucp as u64;
+            self.max_id = self.max_id.max(ctx.id);
+        }
+        self.unique.insert(capture);
+    }
+}
+
+impl Collector for ContextStats {
+    fn record_entry(&mut self, _method: MethodId, true_depth: usize, capture: Capture) {
+        self.absorb(true_depth, capture);
+    }
+
+    fn record_observe(&mut self, _event: u32, _method: MethodId, capture: Capture) {
+        // Observation points contribute to uniqueness too, with unknown
+        // depth attribution left to entry records.
+        self.unique.insert(capture);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_core::{EncodedContext, Frame, FrameTag};
+
+    fn delta_capture(id: u64, depth: usize) -> Capture {
+        let frame = Frame {
+            tag: FrameTag::Anchor,
+            node: MethodId::from_index(0),
+            site: None,
+            saved_id: 0,
+        };
+        Capture::Delta(EncodedContext {
+            frames: vec![frame; depth],
+            id,
+            at: MethodId::from_index(1),
+        })
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = ContextStats::new();
+        s.record_entry(MethodId::from_index(1), 3, delta_capture(5, 1));
+        s.record_entry(MethodId::from_index(1), 5, delta_capture(9, 2));
+        s.record_entry(MethodId::from_index(1), 4, delta_capture(5, 1)); // duplicate capture
+        assert_eq!(s.total_contexts, 3);
+        assert_eq!(s.unique_contexts(), 2);
+        assert_eq!(s.max_depth, 5);
+        assert!((s.avg_depth() - 4.0).abs() < 1e-9);
+        assert_eq!(s.max_stack_depth, 2);
+        assert_eq!(s.max_id, 9);
+    }
+
+    #[test]
+    fn relative_collector_compresses_and_roundtrips() {
+        let mut c = RelativeCollector::default();
+        for id in 0..50 {
+            c.record_entry(MethodId::from_index(1), 2, delta_capture(id, 3));
+        }
+        c.record_entry(MethodId::from_index(1), 2, Capture::Pcc(1));
+        assert_eq!(c.log.len(), 50);
+        assert_eq!(c.skipped, 1);
+        // All 50 share the same 3-frame stack: stored once.
+        assert_eq!(c.log.frames_stored(), 3);
+        assert_eq!(c.log.frames_raw(), 150);
+        let expanded: Vec<_> = c.log.expand().collect();
+        assert_eq!(expanded.len(), 50);
+        assert_eq!(expanded[49].id, 49);
+    }
+
+    #[test]
+    fn event_log_records_observes_only() {
+        let mut log = EventLog::default();
+        log.record_entry(MethodId::from_index(0), 1, Capture::Pcc(1));
+        log.record_observe(7, MethodId::from_index(0), Capture::Pcc(2));
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].0, 7);
+    }
+}

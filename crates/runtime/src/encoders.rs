@@ -1,0 +1,266 @@
+//! Built-in encoders: native baseline, DeltaPath, and stack walking.
+//!
+//! (PCC, Breadcrumbs-lite and the calling-context tree live in
+//! `deltapath-baselines`.)
+
+use deltapath_core::{DeltaState, EncodingPlan, EntryOutcome};
+use deltapath_ir::{MethodId, SiteId};
+
+use crate::encoder::{Capture, ContextEncoder, OpCounts};
+
+/// The native baseline: no instrumentation at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullEncoder;
+
+impl ContextEncoder for NullEncoder {
+    type CallToken = ();
+    type EntryToken = ();
+
+    fn thread_start(&mut self, _entry: MethodId) {}
+    fn on_call(&mut self, _site: SiteId) {}
+    fn on_return(&mut self, _site: SiteId, _token: ()) {}
+    fn on_entry(&mut self, _method: MethodId, _via_site: Option<SiteId>) {}
+    fn on_exit(&mut self, _method: MethodId, _token: ()) {}
+
+    fn observe(&mut self, _at: MethodId) -> Capture {
+        Capture::None
+    }
+
+    fn counts(&self) -> OpCounts {
+        OpCounts::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "native"
+    }
+}
+
+/// The DeltaPath encoder: drives a [`DeltaState`] according to an
+/// [`EncodingPlan`] and meters every abstract operation the injected code
+/// would execute.
+#[derive(Debug)]
+pub struct DeltaEncoder<'p> {
+    plan: &'p EncodingPlan,
+    state: DeltaState,
+    counts: OpCounts,
+}
+
+impl<'p> DeltaEncoder<'p> {
+    /// Creates an encoder for `plan`. The state is initialized lazily by
+    /// [`thread_start`](ContextEncoder::thread_start).
+    pub fn new(plan: &'p EncodingPlan) -> Self {
+        Self {
+            plan,
+            state: DeltaState::start(plan.entry_method()),
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &'p EncodingPlan {
+        self.plan
+    }
+
+    /// The current encoding state (e.g. to snapshot outside observation
+    /// points).
+    pub fn state(&self) -> &DeltaState {
+        &self.state
+    }
+}
+
+impl ContextEncoder for DeltaEncoder<'_> {
+    type CallToken = Option<deltapath_core::CallToken>;
+    type EntryToken = EntryOutcome;
+
+    fn thread_start(&mut self, entry: MethodId) {
+        self.state = DeltaState::start(entry);
+    }
+
+    fn on_call(&mut self, site: SiteId) -> Self::CallToken {
+        let instr = self.plan.site(site)?;
+        if instr.encoded {
+            self.counts.adds += 1;
+        }
+        if self.plan.config().cpt && instr.tracked {
+            self.counts.pending_saves += 1;
+        }
+        Some(self.state.on_call(self.plan, site))
+    }
+
+    fn on_return(&mut self, site: SiteId, token: Self::CallToken) {
+        let Some(token) = token else { return };
+        // The matching `ID -= av` of the call — emitted only where the
+        // addition was (encoded sites).
+        if self.plan.site(site).map(|i| i.encoded).unwrap_or(false) {
+            self.counts.subs += 1;
+        }
+        self.state.on_return(self.plan, token);
+    }
+
+    fn on_entry(&mut self, method: MethodId, via_site: Option<SiteId>) -> EntryOutcome {
+        if self.plan.entry(method).is_none() {
+            return EntryOutcome::Plain;
+        }
+        if self.plan.config().cpt && self.plan.entry(method).map(|e| e.check_sid).unwrap_or(false)
+        {
+            self.counts.sid_checks += 1;
+        }
+        // Only instrumented dispatching sites count as "via" — a site in an
+        // uninstrumented caller has no injected code, so the entry hook sees
+        // only the thread-local expectation.
+        let via = via_site.filter(|&s| self.plan.site(s).is_some());
+        let outcome = self.state.on_entry(self.plan, method, via);
+        if outcome.pushed() {
+            self.counts.pushes += 1;
+        }
+        outcome
+    }
+
+    fn on_exit(&mut self, _method: MethodId, token: EntryOutcome) {
+        if token.pushed() {
+            self.counts.pops += 1;
+        }
+        self.state.on_exit(token);
+    }
+
+    fn observe(&mut self, at: MethodId) -> Capture {
+        Capture::Delta(self.state.snapshot(at))
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn name(&self) -> &'static str {
+        if self.plan.config().cpt {
+            "deltapath"
+        } else {
+            "deltapath-nocpt"
+        }
+    }
+}
+
+/// Stack walking: maintains a shadow stack of the methods in a chosen scope
+/// and reproduces it on demand — the expensive, precise baseline and the
+/// ground truth for precision experiments.
+#[derive(Clone, Debug)]
+pub struct StackWalkEncoder {
+    /// Membership test: a method is kept on the shadow stack iff this
+    /// returns true (e.g. application-scope methods only).
+    keep: fn(MethodId) -> bool,
+    stack: Vec<MethodId>,
+    counts: OpCounts,
+}
+
+impl StackWalkEncoder {
+    /// Walks every method.
+    pub fn full() -> Self {
+        Self {
+            keep: |_| true,
+            stack: Vec::new(),
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// Walks only methods accepted by `keep`.
+    pub fn filtered(keep: fn(MethodId) -> bool) -> Self {
+        Self {
+            keep,
+            stack: Vec::new(),
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The current shadow stack (outermost first).
+    pub fn stack(&self) -> &[MethodId] {
+        &self.stack
+    }
+}
+
+impl ContextEncoder for StackWalkEncoder {
+    type CallToken = ();
+    type EntryToken = bool;
+
+    fn thread_start(&mut self, entry: MethodId) {
+        self.stack.clear();
+        if (self.keep)(entry) {
+            self.stack.push(entry);
+        }
+    }
+
+    fn on_call(&mut self, _site: SiteId) {}
+    fn on_return(&mut self, _site: SiteId, _token: ()) {}
+
+    fn on_entry(&mut self, method: MethodId, _via_site: Option<SiteId>) -> bool {
+        if (self.keep)(method) {
+            self.stack.push(method);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_exit(&mut self, _method: MethodId, pushed: bool) {
+        if pushed {
+            self.stack.pop();
+        }
+    }
+
+    fn observe(&mut self, _at: MethodId) -> Capture {
+        // Walking visits every live frame.
+        self.counts.walked_frames += self.stack.len() as u64;
+        Capture::Walk(self.stack.clone())
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn name(&self) -> &'static str {
+        "stackwalk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_encoder_costs_nothing() {
+        let mut e = NullEncoder;
+        e.thread_start(MethodId::from_index(0));
+        e.on_call(SiteId::from_index(0));
+        assert_eq!(e.observe(MethodId::from_index(0)), Capture::None);
+        assert_eq!(e.counts(), OpCounts::default());
+        assert_eq!(e.name(), "native");
+    }
+
+    #[test]
+    fn stack_walk_tracks_entries_and_exits() {
+        let mut e = StackWalkEncoder::full();
+        let (a, b) = (MethodId::from_index(0), MethodId::from_index(1));
+        e.thread_start(a);
+        let t = e.on_entry(b, None);
+        assert_eq!(e.observe(b), Capture::Walk(vec![a, b]));
+        e.on_exit(b, t);
+        assert_eq!(e.observe(a), Capture::Walk(vec![a]));
+        assert_eq!(e.counts().walked_frames, 3);
+    }
+
+    #[test]
+    fn filtered_walk_skips_methods() {
+        let mut e = StackWalkEncoder::filtered(|m| m.index() != 1);
+        let (a, b, c) = (
+            MethodId::from_index(0),
+            MethodId::from_index(1),
+            MethodId::from_index(2),
+        );
+        e.thread_start(a);
+        let tb = e.on_entry(b, None);
+        let tc = e.on_entry(c, None);
+        assert_eq!(e.observe(c), Capture::Walk(vec![a, c]));
+        e.on_exit(c, tc);
+        e.on_exit(b, tb);
+        assert_eq!(e.stack(), &[a]);
+    }
+}

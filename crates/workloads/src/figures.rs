@@ -1,0 +1,272 @@
+//! The paper's worked examples as runnable IR programs.
+//!
+//! The `deltapath-core` unit tests pin the algorithms to the figures at the
+//! call-graph level; these programs exercise the same shapes end-to-end
+//! through the interpreter (dynamic loading, selective encoding, UCP
+//! detection).
+
+use deltapath_ir::{MethodKind, Program, ProgramBuilder, Receiver};
+
+/// A program whose *application-scope* call graph matches Figure 4/5:
+/// `A → {B, C}`, `B → D`, `C → D`, `D`'s virtual call dispatching to
+/// `{E, F}` from two sites, `C`'s virtual call dispatching to `{F, G}`,
+/// `E → G`, `F → G`.
+///
+/// Each paper node is a class with a single method, so graph nodes can be
+/// identified by class name in tests. The method names follow the figure:
+/// `A.run` is the entry.
+pub fn figure4_program() -> Program {
+    let mut b = ProgramBuilder::new("figure4");
+    // Dispatch families: D's virtual call targets EF.f overridden in E/F
+    // carriers; C's targets FG.g overridden in F/G carriers. To keep one
+    // method per paper node, E F G are modelled as classes in two small
+    // hierarchies with marker methods.
+    let a = b.add_class("A", None);
+    let bb = b.add_class("B", None);
+    let c = b.add_class("C", None);
+    let d = b.add_class("D", None);
+    // EF hierarchy: base EF (abstract-ish), E and F override `ef`.
+    let ef = b.add_class("EF", None);
+    let e = b.add_class("E", Some(ef));
+    let f_ = b.add_class("F", Some(ef));
+    // FG hierarchy: base FG, F2 and G override `fg`. F2 delegates to F so
+    // the *logical* node F has two incoming edges like the figure.
+    let fg = b.add_class("FG", None);
+    let f2 = b.add_class("F2", Some(fg));
+    let g = b.add_class("G", Some(fg));
+
+    b.method(g, "gwork", MethodKind::Static)
+        .work(1)
+        .body(|f| {
+            f.observe(7);
+        })
+        .finish();
+    // E and F call G (edges EG, FG).
+    b.method(ef, "ef", MethodKind::Virtual).finish();
+    b.method(e, "ef", MethodKind::Virtual)
+        .body(|f| {
+            f.call(g, "gwork");
+        })
+        .finish();
+    b.method(f_, "ef", MethodKind::Virtual)
+        .body(|f| {
+            f.call(g, "gwork");
+        })
+        .finish();
+    b.method(fg, "fg", MethodKind::Virtual).finish();
+    b.method(f2, "fg", MethodKind::Virtual)
+        .body(|f| {
+            // Logical F: reached from both D (via EF) and C (via FG).
+            f.vcall(ef, "ef", Receiver::Fixed(f_));
+        })
+        .finish();
+    b.method(g, "fg", MethodKind::Virtual)
+        .body(|f| {
+            f.call(g, "gwork");
+        })
+        .finish();
+    b.method(d, "d", MethodKind::Static)
+        .body(|f| {
+            // Two sites in D, both potentially invoking E (the paper's D and
+            // D' sites): one virtual site dispatching {E, F}, one direct.
+            f.vcall(ef, "ef", Receiver::Cycle(vec![e, f_]));
+            f.vcall(ef, "ef", Receiver::Fixed(e));
+        })
+        .finish();
+    b.method(bb, "b", MethodKind::Static)
+        .body(|f| {
+            f.call(d, "d");
+        })
+        .finish();
+    b.method(c, "c", MethodKind::Static)
+        .body(|f| {
+            f.call(d, "d");
+            // C's virtual call dispatching to F or G.
+            f.vcall(fg, "fg", Receiver::Cycle(vec![f2, g]));
+        })
+        .finish();
+    let main = b
+        .method(a, "run", MethodKind::Static)
+        .body(|f| {
+            f.loop_(4, |f| {
+                f.call(bb, "b");
+                f.call(c, "c");
+            });
+        })
+        .finish();
+    b.entry(main);
+    b.finish().expect("figure4 program validates")
+}
+
+/// The Figure 6 program: dynamic class loading introducing benign and
+/// hazardous unexpected call paths.
+///
+/// `Main.run` calls `B.b` and `C.c`. `B.b` contains a virtual call declared
+/// on `Handler` whose receivers rotate through `DHandler` (static),
+/// `XBenign` (dynamic; its handler re-enters the expected target `D.d`) and
+/// `XHazard` (dynamic; its handler calls `E.e`, a method with a different
+/// SID — the hazardous UCP of the figure). `C.c` also calls `E.e`, giving
+/// `E` the legitimate context the broken decode would otherwise report.
+pub fn figure6_program() -> Program {
+    let mut b = ProgramBuilder::new("figure6");
+    let main_c = b.add_class("Main", None);
+    let bcls = b.add_class("B", None);
+    let ccls = b.add_class("C", None);
+    let dcls = b.add_class("D", None);
+    let ecls = b.add_class("E", None);
+    let handler = b.add_class("Handler", None);
+    let dhandler = b.add_class("DHandler", Some(handler));
+    let xbenign = b.add_dynamic_class("XBenign", Some(handler));
+    let xhazard = b.add_dynamic_class("XHazard", Some(handler));
+
+    b.method(ecls, "e", MethodKind::Static)
+        .work(1)
+        .body(|f| {
+            f.observe(1);
+        })
+        .finish();
+    b.method(dcls, "d", MethodKind::Static)
+        .work(1)
+        .body(|f| {
+            f.observe(2);
+        })
+        .finish();
+    b.method(handler, "handle", MethodKind::Virtual).finish();
+    b.method(dhandler, "handle", MethodKind::Virtual)
+        .body(|f| {
+            f.call(dcls, "d");
+        })
+        .finish();
+    // The dynamic classes are invisible to static analysis; their handlers
+    // call statically known methods, producing unexpected call paths.
+    // XBenign re-enters DHandler.handle — the statically expected target of
+    // B's call site — so the SIDs match and the UCP is benign (the paper's
+    // `B → X → D` case).
+    b.method(xbenign, "handle", MethodKind::Virtual)
+        .body(|f| {
+            f.vcall(handler, "handle", Receiver::Fixed(dhandler));
+        })
+        .finish();
+    b.method(xhazard, "handle", MethodKind::Virtual)
+        .body(|f| {
+            f.call(ecls, "e");
+        })
+        .finish();
+    b.method(bcls, "b", MethodKind::Static)
+        .body(|f| {
+            // One virtual site; static analysis sees only DHandler.
+            f.vcall(
+                handler,
+                "handle",
+                Receiver::Cycle(vec![dhandler, xbenign, xhazard]),
+            );
+        })
+        .finish();
+    b.method(ccls, "c", MethodKind::Static)
+        .body(|f| {
+            f.call(ecls, "e");
+        })
+        .finish();
+    let main = b
+        .method(main_c, "run", MethodKind::Static)
+        .body(|f| {
+            f.loop_(3, |f| {
+                f.call(bcls, "b");
+                f.call(ccls, "c");
+            });
+        })
+        .finish();
+    b.entry(main);
+    b.finish().expect("figure6 program validates")
+}
+
+/// The Figure 7 program: selective encoding with library classes excluded.
+///
+/// Application classes `A`, `B`, `G`; library classes `D`, `F`. The call
+/// chain is `A.run → B.b → D.d → F.f → G.g`: under the
+/// *encoding-application* setting only `A → B` is encoded, `G` detects a
+/// hazardous UCP at entry, and the context decodes to `A B G`.
+pub fn figure7_program() -> Program {
+    let mut b = ProgramBuilder::new("figure7");
+    let a = b.add_class("A", None);
+    let bb = b.add_class("B", None);
+    let g = b.add_class("G", None);
+    let d = b.add_library_class("D", None);
+    let f_ = b.add_library_class("F", None);
+
+    b.method(g, "g", MethodKind::Static)
+        .work(1)
+        .body(|f| {
+            f.observe(1);
+        })
+        .finish();
+    b.method(f_, "f", MethodKind::Static)
+        .body(|f| {
+            f.call(g, "g");
+        })
+        .finish();
+    b.method(d, "d", MethodKind::Static)
+        .body(|f| {
+            f.call(f_, "f");
+        })
+        .finish();
+    b.method(bb, "b", MethodKind::Static)
+        .body(|f| {
+            f.call(d, "d");
+        })
+        .finish();
+    let main = b
+        .method(a, "run", MethodKind::Static)
+        .body(|f| {
+            f.loop_(2, |f| {
+                f.call(bb, "b");
+            });
+        })
+        .finish();
+    b.entry(main);
+    b.finish().expect("figure7 program validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_callgraph::{Analysis, CallGraph, GraphConfig, ScopeFilter};
+
+    #[test]
+    fn figure4_graph_has_paper_shape() {
+        let p = figure4_program();
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Exact));
+        // Methods: run, b, c, d, EF.ef(E), EF.ef(F), fg(F2), fg(G), gwork.
+        // (the abstract bases EF.ef / FG.fg are never dispatch targets of
+        // the Exact analysis since no receiver names them).
+        assert!(g.node_count() >= 9);
+        // D contains a 2-target virtual site.
+        let multi = p
+            .sites()
+            .iter()
+            .filter(|s| g.site_edges(s.id()).len() > 1)
+            .count();
+        assert!(multi >= 2, "two multi-target virtual sites");
+    }
+
+    #[test]
+    fn figure6_static_graph_misses_dynamic_classes() {
+        let p = figure6_program();
+        let blind = CallGraph::build(&p, &GraphConfig::new(Analysis::Exact));
+        let omniscient = CallGraph::build(&p, &GraphConfig::new(Analysis::Exact).with_dynamic());
+        assert!(omniscient.node_count() > blind.node_count());
+        assert!(omniscient.edge_count() > blind.edge_count());
+    }
+
+    #[test]
+    fn figure7_app_graph_has_single_edge_and_g_root() {
+        let p = figure7_program();
+        let g = CallGraph::build(
+            &p,
+            &GraphConfig::new(Analysis::Cha).with_scope(ScopeFilter::ApplicationOnly),
+        );
+        assert_eq!(g.node_count(), 3); // A.run, B.b, G.g
+        assert_eq!(g.edge_count(), 1); // A -> B only
+        assert_eq!(g.roots().len(), 2); // entry + G
+    }
+}

@@ -1,0 +1,31 @@
+//! # deltapath-workloads
+//!
+//! Workload generation for the DeltaPath reproduction:
+//!
+//! * [`synthetic`] — a seeded random program generator with dials for every
+//!   static and dynamic property the experiments depend on (graph size and
+//!   depth, virtual-dispatch density, library/application split, dynamic
+//!   classes, recursion, call/work ratio);
+//! * [`specjvm`] — 15 named configurations standing in for the SPECjvm2008
+//!   benchmarks of the paper's evaluation;
+//! * [`figures`] — the paper's worked examples (Figures 4, 6, 7) as
+//!   runnable programs for end-to-end tests and the repository examples.
+//!
+//! # Example
+//!
+//! ```
+//! use deltapath_workloads::synthetic::{generate, SyntheticConfig};
+//!
+//! let program = generate(&SyntheticConfig::default());
+//! assert!(program.methods().len() > 10);
+//! // Same seed, same program:
+//! let again = generate(&SyntheticConfig::default());
+//! assert_eq!(program.to_string(), again.to_string());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod specjvm;
+pub mod synthetic;

@@ -1,0 +1,360 @@
+//! The SPECjvm2008-like benchmark suite.
+//!
+//! The paper evaluates on the 15 SPECjvm2008 benchmarks. We cannot run Java
+//! bytecode, so each benchmark is replaced by a seeded synthetic program
+//! whose *static* shape (call-graph size, virtual-site ratio,
+//! encoding-space growth) and *dynamic* shape (context depth, call/work
+//! ratio, loop amplification) are tuned to land in the same regime as the
+//! corresponding Table 1 / Table 2 row:
+//!
+//! * `sunflow` and `xml.validation` have deep, high-fan-in graphs whose
+//!   encoding-all space exceeds a 64-bit integer, forcing anchor nodes;
+//! * `xml.transform` has the largest graph and a large application-scope
+//!   encoding space;
+//! * `compress`, `mpegaudio`, `scimark.monte_carlo` and `sunflow` spend
+//!   their time in small hot functions (low work per call), which is what
+//!   makes their instrumentation overhead the highest in Figure 8;
+//! * the `scimark.*` kernels have small call graphs but huge dynamic call
+//!   counts at a fixed depth;
+//! * application-only graphs are one to two orders of magnitude smaller
+//!   than the full graphs (heavy use of library code).
+//!
+//! Absolute sizes are scaled down ~3x from SPECjvm to keep the full suite's
+//! analysis and simulation fast; the relative ordering across benchmarks is
+//! what the experiments rely on (see EXPERIMENTS.md).
+
+use deltapath_ir::Program;
+
+use crate::synthetic::{generate, SyntheticConfig};
+
+/// One benchmark: a name from SPECjvm2008 and the generator configuration
+/// standing in for it.
+#[derive(Clone, Debug)]
+pub struct SpecBenchmark {
+    /// The SPECjvm2008 benchmark name.
+    pub name: &'static str,
+    /// The generator configuration.
+    pub config: SyntheticConfig,
+}
+
+impl SpecBenchmark {
+    /// Generates the benchmark program (deterministic).
+    pub fn program(&self) -> Program {
+        generate(&self.config)
+    }
+}
+
+fn base(name: &'static str, seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        name: name.to_owned(),
+        seed,
+        // Application logic stays coherent (guaranteed app-to-app calls) and
+        // library callbacks are rare, as in real Java workloads; this keeps
+        // application contexts contiguous (Table 2's shallow stacks).
+        app_extra_calls: (1, 2),
+        callback_prob: 0.02,
+        ..SyntheticConfig::default()
+    }
+}
+
+/// The full 15-benchmark suite, in the paper's Table 1 order.
+pub fn suite() -> Vec<SpecBenchmark> {
+    vec![
+        // Compilers: mid-sized graphs, tiny application scope (the app is a
+        // thin driver over a large library front end).
+        SpecBenchmark {
+            name: "compiler.compiler",
+            config: SyntheticConfig {
+                app_families: 4,
+                lib_families: 16,
+                layers: 12,
+                methods_per_layer: 4,
+                lib_methods_per_layer: 60,
+                calls_per_method: (3, 5),
+                virtual_fraction: 0.5,
+                cross_scope_prob: 0.85,
+                work_range: (4, 24),
+                main_loop_iters: 5,
+                call_guard_prob: 0.7,
+                ..base("compiler.compiler", 1001)
+            },
+        },
+        SpecBenchmark {
+            name: "compiler.sunflow",
+            config: SyntheticConfig {
+                app_families: 4,
+                lib_families: 14,
+                layers: 12,
+                methods_per_layer: 4,
+                lib_methods_per_layer: 50,
+                calls_per_method: (2, 5),
+                virtual_fraction: 0.55,
+                cross_scope_prob: 0.85,
+                work_range: (4, 24),
+                main_loop_iters: 10,
+                call_guard_prob: 0.7,
+                ..base("compiler.sunflow", 1002)
+            },
+        },
+        // compress: small graph, very hot small functions at depth ~10.
+        SpecBenchmark {
+            name: "compress",
+            config: SyntheticConfig {
+                app_families: 3,
+                lib_families: 10,
+                layers: 11,
+                methods_per_layer: 3,
+                lib_methods_per_layer: 30,
+                calls_per_method: (2, 4),
+                virtual_fraction: 0.4,
+                cross_scope_prob: 0.55,
+                work_range: (0, 2),
+                main_loop_iters: 6,
+                call_guard_prob: 0.65,
+                inner_loop_range: (2, 4),
+                inner_loop_prob: 0.35,
+                ..base("compress", 1003)
+            },
+        },
+        SpecBenchmark {
+            name: "crypto.aes",
+            config: SyntheticConfig {
+                app_families: 3,
+                lib_families: 17,
+                layers: 13,
+                methods_per_layer: 3,
+                lib_methods_per_layer: 62,
+                calls_per_method: (3, 5),
+                virtual_fraction: 0.45,
+                cross_scope_prob: 0.8,
+                work_range: (6, 30),
+                main_loop_iters: 6,
+                call_guard_prob: 0.75,
+                ..base("crypto.aes", 1004)
+            },
+        },
+        SpecBenchmark {
+            name: "crypto.rsa",
+            config: SyntheticConfig {
+                app_families: 3,
+                lib_families: 17,
+                layers: 13,
+                methods_per_layer: 3,
+                lib_methods_per_layer: 62,
+                calls_per_method: (3, 5),
+                virtual_fraction: 0.45,
+                cross_scope_prob: 0.8,
+                work_range: (8, 40),
+                main_loop_iters: 6,
+                call_guard_prob: 0.75,
+                ..base("crypto.rsa", 1005)
+            },
+        },
+        SpecBenchmark {
+            name: "crypto.signverify",
+            config: SyntheticConfig {
+                app_families: 3,
+                lib_families: 17,
+                layers: 13,
+                methods_per_layer: 3,
+                lib_methods_per_layer: 62,
+                calls_per_method: (3, 5),
+                virtual_fraction: 0.45,
+                cross_scope_prob: 0.8,
+                work_range: (8, 40),
+                main_loop_iters: 6,
+                call_guard_prob: 0.75,
+                ..base("crypto.signverify", 1006)
+            },
+        },
+        // mpegaudio: larger graph, deep contexts, hot decode kernels.
+        SpecBenchmark {
+            name: "mpegaudio",
+            config: SyntheticConfig {
+                app_families: 6,
+                lib_families: 18,
+                layers: 18,
+                methods_per_layer: 5,
+                lib_methods_per_layer: 52,
+                calls_per_method: (3, 6),
+                virtual_fraction: 0.5,
+                cross_scope_prob: 0.45,
+                work_range: (0, 3),
+                main_loop_iters: 30,
+                call_guard_prob: 0.95,
+                call_guard_modulus: (4, 6),
+                inner_loop_range: (2, 3),
+                inner_loop_prob: 0.3,
+                ..base("mpegaudio", 1007)
+            },
+        },
+        // scimark kernels: tiny graphs, fixed depth 10, massive iteration.
+        SpecBenchmark {
+            name: "scimark.fft.large",
+            config: scimark("scimark.fft.large", 1008, 40),
+        },
+        SpecBenchmark {
+            name: "scimark.lu.large",
+            config: scimark("scimark.lu.large", 1009, 30),
+        },
+        SpecBenchmark {
+            name: "scimark.monte_carlo",
+            config: SyntheticConfig {
+                // Monte Carlo is the hottest: near-zero work per call.
+                work_range: (0, 1),
+                main_loop_iters: 80,
+                ..scimark("scimark.monte_carlo", 1010, 80)
+            },
+        },
+        SpecBenchmark {
+            name: "scimark.sor.large",
+            config: scimark("scimark.sor.large", 1011, 40),
+        },
+        SpecBenchmark {
+            name: "scimark.sparse.large",
+            config: scimark("scimark.sparse.large", 1012, 30),
+        },
+        // sunflow: the stress test — big graph, deep recursion-free paths,
+        // encoding-all space beyond 64 bits, hot shading functions.
+        SpecBenchmark {
+            name: "sunflow",
+            config: SyntheticConfig {
+                app_families: 12,
+                lib_families: 22,
+                layers: 28,
+                methods_per_layer: 14,
+                lib_methods_per_layer: 44,
+                subclasses_per_family: (2, 5),
+                override_prob: 0.6,
+                calls_per_method: (3, 6),
+                virtual_fraction: 0.55,
+                receiver_fanout: (2, 4),
+                cross_scope_prob: 0.78,
+                work_range: (0, 3),
+                main_loop_iters: 8,
+                call_guard_prob: 0.95,
+                call_guard_modulus: (4, 6),
+                recursion_prob: 0.02,
+                ..base("sunflow", 1013)
+            },
+        },
+        // xml.transform: the largest graph; application scope itself needs
+        // a large encoding space.
+        SpecBenchmark {
+            name: "xml.transform",
+            config: SyntheticConfig {
+                app_families: 14,
+                lib_families: 26,
+                layers: 24,
+                methods_per_layer: 16,
+                lib_methods_per_layer: 60,
+                subclasses_per_family: (2, 5),
+                override_prob: 0.6,
+                calls_per_method: (3, 5),
+                virtual_fraction: 0.6,
+                receiver_fanout: (2, 4),
+                cross_scope_prob: 0.52,
+                work_range: (2, 10),
+                main_loop_iters: 15,
+                call_guard_prob: 0.95,
+                call_guard_modulus: (4, 5),
+                recursion_prob: 0.03,
+                ..base("xml.transform", 1014)
+            },
+        },
+        // xml.validation: big library graph with huge encoding-all space but
+        // a tiny application driver.
+        SpecBenchmark {
+            name: "xml.validation",
+            config: SyntheticConfig {
+                app_families: 3,
+                lib_families: 28,
+                layers: 26,
+                methods_per_layer: 2,
+                lib_methods_per_layer: 56,
+                subclasses_per_family: (2, 5),
+                override_prob: 0.6,
+                calls_per_method: (3, 6),
+                virtual_fraction: 0.55,
+                receiver_fanout: (2, 4),
+                cross_scope_prob: 0.88,
+                work_range: (3, 14),
+                main_loop_iters: 8,
+                call_guard_prob: 0.95,
+                call_guard_modulus: (4, 6),
+                recursion_prob: 0.02,
+                ..base("xml.validation", 1015)
+            },
+        },
+    ]
+}
+
+/// The shared shape of the scimark kernels: a small fixed-depth call graph
+/// driven through an enormous number of iterations.
+fn scimark(name: &'static str, seed: u64, iters: u32) -> SyntheticConfig {
+    SyntheticConfig {
+        app_families: 2,
+        lib_families: 9,
+        layers: 11,
+        methods_per_layer: 2,
+        lib_methods_per_layer: 26,
+        calls_per_method: (2, 4),
+        virtual_fraction: 0.35,
+        cross_scope_prob: 0.55,
+        work_range: (0, 2),
+        main_loop_iters: iters,
+        inner_loop_range: (2, 3),
+        inner_loop_prob: 0.25,
+        call_guard_prob: 0.7,
+        call_guard_modulus: (2, 3),
+        app_extra_calls: (1, 2),
+        callback_prob: 0.02,
+        observe_events: 2,
+        ..SyntheticConfig {
+            name: name.to_owned(),
+            seed,
+            ..SyntheticConfig::default()
+        }
+    }
+}
+
+/// Generates the program for a benchmark by name.
+pub fn program(name: &str) -> Option<Program> {
+    suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| b.program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fifteen_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 15);
+        let mut names: Vec<_> = s.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15, "benchmark names are unique");
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(program("compress").is_some());
+        assert!(program("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_generates_and_validates() {
+        for bench in suite() {
+            let p = bench.program();
+            assert!(
+                p.methods().len() > 20,
+                "{} suspiciously small",
+                bench.name
+            );
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Seeded random program generation.
+//!
+//! Generates layered object-oriented programs whose static shape (nodes,
+//! edges, call sites, virtual-site ratio, context-count growth) is
+//! controlled by a [`SyntheticConfig`]. The generator is the substitute for
+//! SPECjvm2008 bytecode: what the paper's experiments measure depends on
+//! call-graph shape and call frequencies, both of which the configuration
+//! dials reproduce (see DESIGN.md).
+//!
+//! Structure: *class families* (a base class plus subclasses, optionally a
+//! dynamically loaded subclass) carry *method slots* arranged in layers;
+//! calls flow from layer to layer (downwards), with configurable
+//! probabilities for virtual dispatch, cross-scope (application/library)
+//! calls, library-to-application callbacks, recursion (upward calls), and
+//! dispatch to dynamic subclasses. All randomness comes from a single seed:
+//! the same configuration always yields the identical program.
+
+use deltapath_ir::{ArgExpr, ClassId, MethodKind, Program, ProgramBuilder, Receiver, Scope};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic program generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Program name.
+    pub name: String,
+    /// RNG seed; same seed, same program.
+    pub seed: u64,
+    /// Number of application class families.
+    pub app_families: usize,
+    /// Number of library class families.
+    pub lib_families: usize,
+    /// Subclasses per family (inclusive range).
+    pub subclasses_per_family: (usize, usize),
+    /// Probability that an application family gains a dynamically loaded
+    /// subclass.
+    pub dynamic_subclass_prob: f64,
+    /// Number of call-depth layers below `main`.
+    pub layers: usize,
+    /// Application method slots per layer.
+    pub methods_per_layer: usize,
+    /// Library method slots per layer.
+    pub lib_methods_per_layer: usize,
+    /// Calls emitted per method body (inclusive range).
+    pub calls_per_method: (usize, usize),
+    /// Probability that a slot is a virtual method (vs static).
+    pub virtual_fraction: f64,
+    /// Probability that a subclass overrides a virtual slot.
+    pub override_prob: f64,
+    /// Receiver classes listed at a virtual site (inclusive range; clipped
+    /// to the family size).
+    pub receiver_fanout: (usize, usize),
+    /// Probability that a dynamic subclass appears in a receiver list.
+    pub dynamic_receiver_prob: f64,
+    /// Probability that an application call targets a library slot.
+    pub cross_scope_prob: f64,
+    /// Extra calls (inclusive range) appended to every application method
+    /// that are guaranteed to target application slots. Models coherent
+    /// application logic: real programs keep calling their own code even
+    /// when they lean on libraries heavily, which keeps application-level
+    /// contexts contiguous (few unexpected-call-path boundaries) the way
+    /// the paper's Table 2 stack depths show.
+    pub app_extra_calls: (usize, usize),
+    /// Probability that a library call targets an application slot
+    /// (callback; exercises unexpected call paths under selective encoding).
+    pub callback_prob: f64,
+    /// Probability that a call goes to the same or an earlier layer
+    /// (recursion).
+    pub recursion_prob: f64,
+    /// Per-invocation work units of generated methods (inclusive range).
+    pub work_range: (u32, u32),
+    /// Iterations of the main driver loop.
+    pub main_loop_iters: u32,
+    /// Iterations of inner loops wrapped around calls (inclusive range; 1
+    /// disables amplification).
+    pub inner_loop_range: (u32, u32),
+    /// Probability that a call is wrapped in an inner loop.
+    pub inner_loop_prob: f64,
+    /// Probability that a downward call is guarded by a parameter test
+    /// (`param % m == r`), so it executes only on some chains. Guards leave
+    /// the static call graph untouched but attenuate the *dynamic* call
+    /// tree the way real programs do (a body's call sites are not all taken
+    /// on every invocation); without them, deep layered programs would
+    /// execute `branching^depth` calls.
+    pub call_guard_prob: f64,
+    /// Modulus range for call guards (inclusive); the remainder is sampled
+    /// uniformly below the modulus.
+    pub call_guard_modulus: (u32, u32),
+    /// Number of distinct observation events sprinkled over leaf methods.
+    pub observe_events: u32,
+}
+
+impl Default for SyntheticConfig {
+    /// A small but featureful program (a few hundred methods).
+    fn default() -> Self {
+        Self {
+            name: "synthetic".to_owned(),
+            seed: 42,
+            app_families: 6,
+            lib_families: 4,
+            subclasses_per_family: (1, 3),
+            dynamic_subclass_prob: 0.3,
+            layers: 6,
+            methods_per_layer: 8,
+            lib_methods_per_layer: 6,
+            calls_per_method: (1, 3),
+            virtual_fraction: 0.4,
+            override_prob: 0.5,
+            receiver_fanout: (1, 3),
+            dynamic_receiver_prob: 0.15,
+            cross_scope_prob: 0.25,
+            app_extra_calls: (0, 0),
+            callback_prob: 0.08,
+            recursion_prob: 0.03,
+            work_range: (1, 20),
+            main_loop_iters: 10,
+            inner_loop_range: (1, 3),
+            inner_loop_prob: 0.3,
+            call_guard_prob: 0.0,
+            call_guard_modulus: (2, 4),
+            observe_events: 4,
+        }
+    }
+}
+
+/// A method slot: one named method declared on a family base (and possibly
+/// overridden in subclasses).
+#[derive(Clone, Debug)]
+struct Slot {
+    name: String,
+    family: usize,
+    layer: usize,
+    is_virtual: bool,
+    /// Class declaring the (static) method, or the base for virtual slots.
+    declaring: usize, // index into family.classes
+}
+
+#[derive(Clone, Debug)]
+struct Family {
+    /// Class ids: `classes[0]` is the base.
+    classes: Vec<ClassId>,
+    /// Index of the dynamic subclass within `classes`, if any.
+    dynamic_ix: Option<usize>,
+    scope: Scope,
+}
+
+/// Generates the program described by `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero families or layers) or
+/// if the generated program fails validation (a generator bug).
+pub fn generate(config: &SyntheticConfig) -> Program {
+    assert!(config.app_families > 0, "need at least one app family");
+    assert!(config.layers > 0, "need at least one layer");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = ProgramBuilder::new(config.name.clone());
+
+    // --- Classes -----------------------------------------------------
+    let mut families: Vec<Family> = Vec::new();
+    let total_families = config.app_families + config.lib_families;
+    for f in 0..total_families {
+        let is_app = f < config.app_families;
+        let scope = if is_app {
+            Scope::Application
+        } else {
+            Scope::Library
+        };
+        let prefix = if is_app { "App" } else { "Lib" };
+        let base = if is_app {
+            b.add_class(&format!("{prefix}{f}"), None)
+        } else {
+            b.add_library_class(&format!("{prefix}{f}"), None)
+        };
+        let mut classes = vec![base];
+        let n_subs = rng.gen_range(config.subclasses_per_family.0..=config.subclasses_per_family.1);
+        for s in 0..n_subs {
+            let name = format!("{prefix}{f}S{s}");
+            let id = if is_app {
+                b.add_class(&name, Some(base))
+            } else {
+                b.add_library_class(&name, Some(base))
+            };
+            classes.push(id);
+        }
+        let dynamic_ix = if is_app && rng.gen_bool(config.dynamic_subclass_prob) {
+            let id = b.add_dynamic_class(&format!("{prefix}{f}Dyn"), Some(base));
+            classes.push(id);
+            Some(classes.len() - 1)
+        } else {
+            None
+        };
+        families.push(Family {
+            classes,
+            dynamic_ix,
+            scope,
+        });
+    }
+    let main_class = b.add_class("Main", None);
+
+    // --- Method slots --------------------------------------------------
+    // Layer 1..=layers; app slot list and lib slot list per layer.
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut app_slots_by_layer: Vec<Vec<usize>> = vec![Vec::new(); config.layers + 1];
+    let mut lib_slots_by_layer: Vec<Vec<usize>> = vec![Vec::new(); config.layers + 1];
+    for layer in 1..=config.layers {
+        for i in 0..config.methods_per_layer {
+            let family = rng.gen_range(0..config.app_families);
+            let is_virtual = rng.gen_bool(config.virtual_fraction);
+            let declaring = if is_virtual {
+                0
+            } else {
+                rng.gen_range(0..families[family].classes.len().max(1))
+            };
+            // Static methods must not live on dynamic classes here: their
+            // callers name the class directly and static analysis would
+            // never see the site resolve.
+            let declaring = if Some(declaring) == families[family].dynamic_ix {
+                0
+            } else {
+                declaring
+            };
+            let ix = slots.len();
+            slots.push(Slot {
+                name: format!("a{layer}_{i}"),
+                family,
+                layer,
+                is_virtual,
+                declaring,
+            });
+            app_slots_by_layer[layer].push(ix);
+        }
+        for i in 0..config.lib_methods_per_layer {
+            if config.lib_families == 0 {
+                break;
+            }
+            let family = config.app_families + rng.gen_range(0..config.lib_families);
+            let is_virtual = rng.gen_bool(config.virtual_fraction);
+            let declaring = if is_virtual {
+                0
+            } else {
+                rng.gen_range(0..families[family].classes.len())
+            };
+            let ix = slots.len();
+            slots.push(Slot {
+                name: format!("l{layer}_{i}"),
+                family,
+                layer,
+                is_virtual,
+                declaring,
+            });
+            lib_slots_by_layer[layer].push(ix);
+        }
+    }
+
+    // --- Bodies ----------------------------------------------------------
+    // Each (class, slot) instance gets an independently sampled body. The
+    // generator emits call descriptions; name resolution happens at
+    // `finish()`, so declaration order does not matter.
+    #[derive(Clone)]
+    struct CallDesc {
+        declared: ClassId,
+        name: String,
+        receiver: Option<Receiver>,
+        looped: Option<u32>,
+        /// `Some((modulus, equals))`: the call only executes when
+        /// `param % modulus == equals`. Used to guard recursive (upward)
+        /// calls: arguments strictly increase down every call chain
+        /// (`ParamPlus(1)`), so a guarded back edge can re-fire only after
+        /// the parameter grows by a full modulus — recursion terminates by
+        /// construction while still being exercised.
+        guard: Option<(u32, u32)>,
+    }
+
+    let gen_calls = |rng: &mut StdRng,
+                         slot: &Slot,
+                         on_dynamic_class: bool,
+                         families: &[Family]|
+     -> Vec<CallDesc> {
+        let n = rng.gen_range(config.calls_per_method.0..=config.calls_per_method.1);
+        let caller_is_app = families[slot.family].scope == Scope::Application;
+        let extra = if caller_is_app && !on_dynamic_class {
+            rng.gen_range(config.app_extra_calls.0..=config.app_extra_calls.1)
+        } else {
+            0
+        };
+        let mut out = Vec::with_capacity(n + extra);
+        if slot.layer >= config.layers {
+            return out; // leaf layer
+        }
+        for call_ix in 0..n + extra {
+            let force_app = call_ix >= n;
+            // Pick the target layer: usually the next one; recursion goes
+            // to the same or an earlier layer (and gets a termination
+            // guard, see `CallDesc::guard`).
+            let recursive = rng.gen_bool(config.recursion_prob) && slot.layer >= 1;
+            let target_layer = if recursive {
+                rng.gen_range(1..=slot.layer)
+            } else {
+                slot.layer + 1
+            };
+            let guard = if recursive {
+                Some((101u32, rng.gen_range(0..3u32)))
+            } else if rng.gen_bool(config.call_guard_prob) {
+                let m = rng.gen_range(config.call_guard_modulus.0..=config.call_guard_modulus.1);
+                Some((m, rng.gen_range(0..m)))
+            } else {
+                None
+            };
+            let caller_is_lib = !caller_is_app;
+            // Scope of the target.
+            let wants_lib = if force_app {
+                false
+            } else if caller_is_lib {
+                !rng.gen_bool(config.callback_prob)
+            } else {
+                rng.gen_bool(config.cross_scope_prob)
+            };
+            let use_lib = wants_lib && !lib_slots_by_layer[target_layer].is_empty();
+            // Methods on dynamic classes call application code directly —
+            // the source of hazardous unexpected call paths.
+            let pool = if use_lib && !on_dynamic_class {
+                &lib_slots_by_layer[target_layer]
+            } else {
+                &app_slots_by_layer[target_layer]
+            };
+            if pool.is_empty() {
+                continue;
+            }
+            let target = &slots[pool[rng.gen_range(0..pool.len())]];
+            let fam = &families[target.family];
+            let desc = if target.is_virtual {
+                // Receiver list: a random subset of the family's classes.
+                let want =
+                    rng.gen_range(config.receiver_fanout.0..=config.receiver_fanout.1).max(1);
+                let mut receivers = Vec::new();
+                let mut candidates: Vec<usize> = (0..fam.classes.len())
+                    .filter(|&i| Some(i) != fam.dynamic_ix)
+                    .collect();
+                for _ in 0..want.min(candidates.len()) {
+                    let pick = rng.gen_range(0..candidates.len());
+                    receivers.push(fam.classes[candidates.swap_remove(pick)]);
+                }
+                if let Some(dix) = fam.dynamic_ix {
+                    if rng.gen_bool(config.dynamic_receiver_prob) {
+                        receivers.push(fam.classes[dix]);
+                    }
+                }
+                if receivers.is_empty() {
+                    receivers.push(fam.classes[0]);
+                }
+                CallDesc {
+                    declared: fam.classes[0],
+                    name: target.name.clone(),
+                    receiver: Some(Receiver::Cycle(receivers)),
+                    looped: None,
+                    guard,
+                }
+            } else {
+                CallDesc {
+                    declared: fam.classes[target.declaring],
+                    name: target.name.clone(),
+                    receiver: None,
+                    looped: None,
+                    guard,
+                }
+            };
+            let looped = if rng.gen_bool(config.inner_loop_prob) {
+                Some(rng.gen_range(config.inner_loop_range.0..=config.inner_loop_range.1))
+            } else {
+                None
+            };
+            out.push(CallDesc { looped, ..desc });
+        }
+        out
+    };
+
+    // Instantiate methods: for each slot, a method on the declaring class;
+    // for virtual slots, overrides on subclasses.
+    for slot in slots.clone() {
+        let fam = families[slot.family].clone();
+        let mut instances: Vec<usize> = vec![slot.declaring];
+        if slot.is_virtual {
+            for (cix, _) in fam.classes.iter().enumerate() {
+                if cix == slot.declaring {
+                    continue;
+                }
+                if rng.gen_bool(config.override_prob) {
+                    instances.push(cix);
+                }
+            }
+        }
+        for cix in instances {
+            let class = fam.classes[cix];
+            let on_dynamic = Some(cix) == fam.dynamic_ix;
+            let calls = gen_calls(&mut rng, &slot, on_dynamic, &families);
+            let work = rng.gen_range(config.work_range.0..=config.work_range.1);
+            let kind = if slot.is_virtual {
+                MethodKind::Virtual
+            } else {
+                MethodKind::Static
+            };
+            let observe = if slot.layer == config.layers && config.observe_events > 0 {
+                Some(rng.gen_range(0..config.observe_events))
+            } else {
+                None
+            };
+            b.method(class, &slot.name, kind)
+                .work(work)
+                .body(|f| {
+                    for c in &calls {
+                        let emit = |f: &mut deltapath_ir::BodyBuilder<'_>| match &c.receiver {
+                            Some(r) => {
+                                f.vcall_arg(c.declared, &c.name, r.clone(), ArgExpr::ParamPlus(1));
+                            }
+                            None => {
+                                f.call_arg(c.declared, &c.name, ArgExpr::ParamPlus(1));
+                            }
+                        };
+                        let wrapped = |f: &mut deltapath_ir::BodyBuilder<'_>| match c.guard {
+                            Some((modulus, equals)) => f.if_mod(modulus, equals, emit, |_| {}),
+                            None => emit(f),
+                        };
+                        match c.looped {
+                            Some(n) => f.loop_(n, wrapped),
+                            None => wrapped(f),
+                        }
+                    }
+                    if let Some(ev) = observe {
+                        f.observe(ev);
+                    }
+                })
+                .finish();
+        }
+    }
+
+    // --- main -------------------------------------------------------------
+    let layer1: Vec<Slot> = app_slots_by_layer[1]
+        .iter()
+        .map(|&ix| slots[ix].clone())
+        .collect();
+    let root_calls: Vec<CallDesc> = layer1
+        .iter()
+        .map(|slot| {
+            let fam = &families[slot.family];
+            if slot.is_virtual {
+                CallDesc {
+                    declared: fam.classes[0],
+                    name: slot.name.clone(),
+                    receiver: Some(Receiver::Cycle(vec![fam.classes[0]])),
+                    looped: None,
+                    guard: None,
+                }
+            } else {
+                CallDesc {
+                    declared: fam.classes[slot.declaring],
+                    name: slot.name.clone(),
+                    receiver: None,
+                    looped: None,
+                    guard: None,
+                }
+            }
+        })
+        .collect();
+    let iters = config.main_loop_iters;
+    let main = b
+        .method(main_class, "main", MethodKind::Static)
+        .work(1)
+        .body(|f| {
+            f.loop_bind(iters, |f| {
+                for c in &root_calls {
+                    match &c.receiver {
+                        Some(r) => {
+                            f.vcall_arg(c.declared, &c.name, r.clone(), ArgExpr::Param);
+                        }
+                        None => {
+                            f.call_arg(c.declared, &c.name, ArgExpr::Param);
+                        }
+                    }
+                }
+            });
+            f.observe(0);
+        })
+        .finish();
+    b.entry(main);
+    b.finish().expect("generated program must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_callgraph::{Analysis, CallGraph, GraphConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::default();
+        let p1 = generate(&cfg);
+        let p2 = generate(&cfg);
+        assert_eq!(p1.to_string(), p2.to_string());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SyntheticConfig::default();
+        let p1 = generate(&cfg);
+        cfg.seed = 43;
+        let p2 = generate(&cfg);
+        assert_ne!(p1.to_string(), p2.to_string());
+    }
+
+    #[test]
+    fn generated_program_has_expected_features() {
+        let cfg = SyntheticConfig::default();
+        let p = generate(&cfg);
+        assert!(p.methods().len() > 40);
+        assert!(p.sites().len() > 40);
+        // Has virtual sites.
+        assert!(p
+            .sites()
+            .iter()
+            .any(|s| s.kind() == deltapath_ir::CallKind::Virtual));
+        // Has library and dynamic classes.
+        assert!(p
+            .classes()
+            .iter()
+            .any(|c| c.scope() == deltapath_ir::Scope::Library));
+        assert!(p
+            .classes()
+            .iter()
+            .any(|c| c.origin() == deltapath_ir::Origin::Dynamic));
+        // A call graph is constructible and nontrivial.
+        let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        assert!(g.node_count() > 20);
+        assert!(g.edge_count() >= g.node_count());
+    }
+
+    #[test]
+    fn scales_with_configuration() {
+        let small = generate(&SyntheticConfig {
+            layers: 3,
+            methods_per_layer: 4,
+            ..SyntheticConfig::default()
+        });
+        let big = generate(&SyntheticConfig {
+            layers: 10,
+            methods_per_layer: 20,
+            ..SyntheticConfig::default()
+        });
+        assert!(big.methods().len() > 3 * small.methods().len());
+    }
+}

@@ -1,0 +1,142 @@
+//! Calling-context anomaly detection — one of the paper's listed
+//! applications: learn the set of legitimate calling contexts of sensitive
+//! operations in a training run, then flag events whose context was never
+//! seen (e.g. a code-injection gadget reaching a sensitive API through an
+//! unusual path).
+//!
+//! Because DeltaPath encodings are *precise* (no hash collisions), a novel
+//! context can never masquerade as a known one — with PCC, a colliding
+//! attack context would be accepted silently.
+//!
+//! Run with: `cargo run --example anomaly_detection`
+
+use std::collections::HashSet;
+
+use deltapath::{
+    Capture, CollectMode, DeltaEncoder, EncodedContext, EncodingPlan, EventLog, MethodKind,
+    PlanConfig, ProgramBuilder, Receiver, Vm, VmConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A service with a sensitive operation (`Vault.unlock`, observe 99).
+    // Normal traffic reaches it only via AuthFlow; the "attack" build loads
+    // a plugin that calls it directly.
+    let mut b = ProgramBuilder::new("service");
+    let vault = b.add_class("Vault", None);
+    let auth = b.add_class("AuthFlow", None);
+    let handler = b.add_class("Handler", None);
+    let admin = b.add_class("AdminHandler", Some(handler));
+    let user = b.add_class("UserHandler", Some(handler));
+    let plugin = b.add_dynamic_class("EvilPlugin", Some(handler));
+    let srv = b.add_class("Server", None);
+
+    b.method(vault, "unlock", MethodKind::Static)
+        .work(5)
+        .body(|f| f.observe(99))
+        .finish();
+    b.method(auth, "check", MethodKind::Static)
+        .work(3)
+        .body(|f| {
+            f.call(vault, "unlock");
+        })
+        .finish();
+    b.method(handler, "handle", MethodKind::Virtual).work(1).finish();
+    b.method(admin, "handle", MethodKind::Virtual)
+        .body(|f| {
+            f.call(auth, "check");
+        })
+        .finish();
+    b.method(user, "handle", MethodKind::Virtual).work(2).finish();
+    // The dynamically loaded plugin bypasses AuthFlow entirely.
+    b.method(plugin, "handle", MethodKind::Virtual)
+        .body(|f| {
+            f.call(vault, "unlock");
+        })
+        .finish();
+
+    // Two entry points sharing the program: the receiver cycle decides
+    // whether the plugin ever runs, driven by the entry parameter.
+    let main = b
+        .method(srv, "main", MethodKind::Static)
+        .body(|f| {
+            f.if_mod(
+                2,
+                0,
+                |f| {
+                    // Training traffic: admin and user requests only.
+                    f.loop_(6, |f| {
+                        f.vcall(handler, "handle", Receiver::Cycle(vec![admin, user]));
+                    });
+                },
+                |f| {
+                    // Production traffic including the injected plugin.
+                    f.loop_(6, |f| {
+                        f.vcall(
+                            handler,
+                            "handle",
+                            Receiver::Cycle(vec![admin, user, plugin]),
+                        );
+                    });
+                },
+            );
+        })
+        .finish();
+    b.entry(main);
+    let program = b.finish()?;
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default())?;
+
+    let run = |entry_param: u32| -> Result<Vec<EncodedContext>, Box<dyn std::error::Error>> {
+        let mut vm = Vm::new(
+            &program,
+            VmConfig::default()
+                .with_collect(CollectMode::ObservesOnly)
+                .with_entry_param(entry_param),
+        );
+        let mut encoder = DeltaEncoder::new(&plan);
+        let mut log = EventLog::default();
+        vm.run(&mut encoder, &mut log)?;
+        Ok(log
+            .events
+            .iter()
+            .filter(|(event, _, _)| *event == 99)
+            .map(|(_, _, c)| match c {
+                Capture::Delta(ctx) => ctx.clone(),
+                _ => unreachable!(),
+            })
+            .collect())
+    };
+
+    // --- Training: learn the legitimate contexts of Vault.unlock. ---------
+    let baseline: HashSet<EncodedContext> = run(0)?.into_iter().collect();
+    println!("training: {} legitimate context(s) of Vault.unlock", baseline.len());
+    let decoder = plan.decoder();
+    for ctx in &baseline {
+        let pretty: Vec<String> = decoder
+            .decode(ctx)?
+            .iter()
+            .map(|&m| program.method_name(m))
+            .collect();
+        println!("  allowed: {}", pretty.join(" -> "));
+    }
+
+    // --- Detection: flag unlock events with unseen contexts. --------------
+    let mut alarms = 0;
+    for ctx in run(1)? {
+        if !baseline.contains(&ctx) {
+            alarms += 1;
+            let pretty: Vec<String> = decoder
+                .decode(&ctx)?
+                .iter()
+                .map(|&m| program.method_name(m))
+                .collect();
+            println!(
+                "ALARM: Vault.unlock reached via unseen context {} (UCP frames: {})",
+                pretty.join(" -> "),
+                ctx.ucp_count()
+            );
+        }
+    }
+    assert!(alarms > 0, "the injected path must be flagged");
+    println!("\n{alarms} anomalous unlock(s) detected and decoded for the incident report.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Event logging with calling contexts — the paper's motivating use case:
+//! "simply logging the system call events fails to record how program
+//! components interact when a system call is issued, while recording calling
+//! contexts would be very informative."
+//!
+//! A generated application performs "syscall" events (`Observe` points in
+//! leaf methods). The log stores one compact encoded value per event; at
+//! analysis time each entry decodes to the exact method chain that issued
+//! it. Contrast with PCC on the same run: same events, but the hash values
+//! cannot be decoded at all.
+//!
+//! Run with: `cargo run --example event_logging`
+
+use std::collections::HashMap;
+
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, PccEncoder, PccWidth, PlanConfig,
+    Vm, VmConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized generated application with virtual dispatch, libraries and
+    // a dynamically loaded plugin.
+    let program = generate(&SyntheticConfig {
+        name: "logged-app".to_owned(),
+        seed: 7,
+        main_loop_iters: 5,
+        observe_events: 6,
+        ..SyntheticConfig::default()
+    });
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default())?;
+
+    // --- Run with DeltaPath and collect the event log. -------------------
+    let vm_config = VmConfig::default().with_collect(CollectMode::ObservesOnly);
+    let mut vm = Vm::new(&program, vm_config);
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut encoder, &mut log)?;
+    println!("captured {} events", log.events.len());
+
+    // --- Offline analysis: decode and aggregate. --------------------------
+    let decoder = plan.decoder();
+    let mut by_context: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut decoded_ok = 0usize;
+    for (_event, _at, capture) in &log.events {
+        let Capture::Delta(ctx) = capture else {
+            unreachable!()
+        };
+        let context = decoder.decode(ctx)?;
+        decoded_ok += 1;
+        let pretty: Vec<String> = context.iter().map(|&m| program.method_name(m)).collect();
+        *by_context.entry(pretty).or_default() += 1;
+    }
+    println!(
+        "decoded {decoded_ok}/{} events precisely; {} distinct emitting contexts\n",
+        log.events.len(),
+        by_context.len()
+    );
+    let mut ranked: Vec<_> = by_context.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top emitting contexts:");
+    for (context, count) in ranked.iter().take(5) {
+        println!("{count:>6}x  {}", context.join(" -> "));
+    }
+
+    // --- The same run under PCC: compact, but opaque. ---------------------
+    let mut vm = Vm::new(&program, vm_config);
+    let mut pcc = PccEncoder::from_plan(&plan, PccWidth::Bits32);
+    let mut pcc_log = EventLog::default();
+    vm.run(&mut pcc, &mut pcc_log)?;
+    let sample: Vec<String> = pcc_log
+        .events
+        .iter()
+        .take(4)
+        .map(|(_, _, c)| match c {
+            Capture::Pcc(v) => format!("{v:#010x}"),
+            _ => unreachable!(),
+        })
+        .collect();
+    println!(
+        "\nPCC logged the same events as bare hashes ({}, ...) — no decoder exists;\n\
+         DeltaPath pays comparable runtime cost but every entry above was recovered exactly.",
+        sample.join(", ")
+    );
+    Ok(())
+}

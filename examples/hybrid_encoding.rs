@@ -1,0 +1,106 @@
+//! Hybrid PCC + DeltaPath encoding — the paper's Section 8 sketch, built
+//! out: PCC's one-integer hash covers the hot *trunk* of the call graph, a
+//! profiling-learned dictionary makes those hashes decodable, and DeltaPath
+//! encodes everything below the trunk exactly, with the trunk-exit methods
+//! acting as anchors.
+//!
+//! Run with: `cargo run --example hybrid_encoding`
+
+use std::collections::HashMap;
+
+use deltapath::baselines::{HybridDecoder, HybridEncoder, HybridPlan};
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    Capture, CollectMode, Collector, ContextEncoder, MethodId, PlanConfig, StackWalkEncoder, Vm,
+    VmConfig,
+};
+
+/// Counts method entries — the profile that selects the trunk.
+#[derive(Default)]
+struct HeatProfile {
+    counts: HashMap<MethodId, u64>,
+}
+
+impl Collector for HeatProfile {
+    fn record_entry(&mut self, method: MethodId, _depth: usize, _capture: Capture) {
+        *self.counts.entry(method).or_default() += 1;
+    }
+    fn record_observe(&mut self, _e: u32, _m: MethodId, _c: Capture) {}
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = generate(&SyntheticConfig {
+        name: "hybrid-demo".to_owned(),
+        seed: 99,
+        lib_families: 0,
+        lib_methods_per_layer: 0,
+        cross_scope_prob: 0.0,
+        dynamic_subclass_prob: 0.0,
+        layers: 7,
+        main_loop_iters: 6,
+        observe_events: 3,
+        ..SyntheticConfig::default()
+    });
+
+    // --- Phase 1: profile to find the hot methods. ------------------------
+    let vm_config = VmConfig::default().with_collect(CollectMode::Entries);
+    let mut vm = Vm::new(&program, vm_config);
+    let mut profile = HeatProfile::default();
+    let mut walker = StackWalkEncoder::full();
+    vm.run(&mut walker, &mut profile)?;
+    let trunk = HybridPlan::trunk_from_profile(&program, &profile.counts, 3);
+    println!(
+        "profiled {} methods; trunk = {} hottest (incl. entry)",
+        profile.counts.len(),
+        trunk.len()
+    );
+
+    // --- Phase 2: hybrid analysis + dictionary learning. ------------------
+    let plan = HybridPlan::analyze(&program, trunk, &PlanConfig::default())?;
+    let dict = plan.learn_dictionary(&program, VmConfig::default());
+    println!(
+        "delta plan: {} methods below the trunk; dictionary: {} trunk prefixes ({} hash conflicts)",
+        plan.delta_plan().instrumented_method_count(),
+        dict.len(),
+        dict.hash_conflicts
+    );
+
+    // --- Phase 3: run hybrid-instrumented and decode. ----------------------
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = HybridEncoder::new(&plan);
+    let mut log = deltapath::EventLog::default();
+    vm.run(&mut encoder, &mut log)?;
+    let counts = encoder.counts();
+    println!(
+        "run: {} events; encoder ops: {} hashes (trunk), {} adds (delta), {} boundary pushes\n",
+        log.events.len(),
+        counts.hashes,
+        counts.adds,
+        counts.pushes
+    );
+
+    let decoder = HybridDecoder::new(&plan, &dict);
+    let mut decoded = 0;
+    let mut unknown = 0;
+    for (_, _, capture) in &log.events {
+        match decoder.decode(capture) {
+            Ok(context) => {
+                decoded += 1;
+                if decoded <= 5 {
+                    let pretty: Vec<String> =
+                        context.iter().map(|&m| program.method_name(m)).collect();
+                    println!("decoded: {}", pretty.join(" -> "));
+                }
+            }
+            Err(_) => unknown += 1,
+        }
+    }
+    println!(
+        "\n{decoded} contexts decoded ({unknown} trunk values outside the learned dictionary\n\
+         — the residual probabilistic gap hybrid encoding inherits from PCC)."
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a small polymorphic program, encode it, run it, and
+//! decode every observed calling context.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use deltapath::{
+    Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, MethodKind, PlanConfig,
+    ProgramBuilder, Receiver, Vm, VmConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little rendering engine: Scene.render draws shapes polymorphically;
+    // every Shape.draw implementation emits an event whose calling context
+    // we want to know precisely.
+    let mut b = ProgramBuilder::new("quickstart");
+    let shape = b.add_class("Shape", None);
+    let circle = b.add_class("Circle", Some(shape));
+    let square = b.add_class("Square", Some(shape));
+    let scene = b.add_class("Scene", None);
+    let app = b.add_class("App", None);
+
+    b.method(shape, "draw", MethodKind::Virtual)
+        .work(1)
+        .body(|f| f.observe(0))
+        .finish();
+    b.method(circle, "draw", MethodKind::Virtual)
+        .work(3)
+        .body(|f| f.observe(1))
+        .finish();
+    b.method(square, "draw", MethodKind::Virtual)
+        .work(2)
+        .body(|f| f.observe(2))
+        .finish();
+    // One virtual call site, many dispatch targets — the case PCCE cannot
+    // handle and DeltaPath's Algorithm 1 is built for.
+    b.method(scene, "render", MethodKind::Static)
+        .body(|f| {
+            f.loop_(3, |f| {
+                f.vcall(shape, "draw", Receiver::Cycle(vec![circle, square, shape]));
+            });
+        })
+        .finish();
+    let main = b
+        .method(app, "main", MethodKind::Static)
+        .body(|f| {
+            f.call(scene, "render");
+            f.vcall(shape, "draw", Receiver::Fixed(circle)); // a second path to draw
+        })
+        .finish();
+    b.entry(main);
+    let program = b.finish()?;
+    println!("{program}");
+
+    // Static analysis: one addition value per call site, anchors if needed.
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default())?;
+    println!(
+        "plan: {} methods instrumented, {} call sites with ID arithmetic, {} anchors\n",
+        plan.instrumented_method_count(),
+        plan.instrumented_site_count(),
+        plan.encoding().anchors.len(),
+    );
+
+    // Execute with DeltaPath instrumentation, logging every event.
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut encoder, &mut log)?;
+
+    // Decode: every logged value recovers the exact calling context.
+    let decoder = plan.decoder();
+    println!("event  encoded-context                    decoded calling context");
+    for (event, _at, capture) in &log.events {
+        let Capture::Delta(ctx) = capture else {
+            unreachable!("DeltaEncoder always captures Delta")
+        };
+        let context = decoder.decode(ctx)?;
+        let pretty: Vec<String> = context.iter().map(|&m| program.method_name(m)).collect();
+        println!("{event:>5}  {:<32}  {}", ctx.to_string(), pretty.join(" -> "));
+    }
+    Ok(())
+}

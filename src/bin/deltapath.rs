@@ -1,0 +1,316 @@
+//! The `deltapath` command-line tool: explore the bundled workloads, their
+//! call graphs and encoding plans, and run them under any of the encoders.
+//!
+//! ```text
+//! deltapath list
+//! deltapath inspect <benchmark> [--scope app|all] [--width BITS]
+//! deltapath dot <benchmark> [--scope app|all]
+//! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|stackwalk|cct]
+//! deltapath decode <benchmark>     # run, capture, decode a few contexts
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use deltapath::baselines::{CctEncoder, PccEncoder, PccWidth};
+use deltapath::workloads::specjvm::{program, suite};
+use deltapath::{
+    Analysis, CallGraph, Capture, CollectMode, ContextEncoder, ContextStats, DeltaEncoder,
+    EncodingPlan, EncodingWidth, EventLog, GraphConfig, GraphStats, NullCollector, NullEncoder,
+    PlanConfig, Program, ScopeFilter, StackWalkEncoder, Vm, VmConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: deltapath <list|inspect|dot|run|decode> [benchmark] [options]\n\
+                 \n\
+                 list                      list the bundled SPECjvm2008-like benchmarks\n\
+                 inspect <bench>           static characteristics and encoding plan summary\n\
+                 \x20   --scope app|all    selective vs full encoding (default: app)\n\
+                 \x20   --width BITS       encoding integer width (default: 64)\n\
+                 dot <bench>               print the encoded call graph in Graphviz format\n\
+                 run <bench>               execute under an encoder and report costs\n\
+                 \x20   --encoder NAME     native|pcc|deltapath|deltapath-nocpt|stackwalk|cct\n\
+                 decode <bench>            run, capture, and decode example contexts"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(args: &[String]) -> Result<Program, String> {
+    let name = args.first().ok_or("missing benchmark name")?;
+    program(name).ok_or_else(|| {
+        format!(
+            "unknown benchmark {name:?}; run `deltapath list` to see the available ones"
+        )
+    })
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn scope_of(args: &[String]) -> Result<ScopeFilter, String> {
+    match flag(args, "--scope").as_deref() {
+        None | Some("app") => Ok(ScopeFilter::ApplicationOnly),
+        Some("all") => Ok(ScopeFilter::All),
+        Some(other) => Err(format!("unknown scope {other:?} (use app|all)")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("bundled benchmarks (seeded synthetic stand-ins for SPECjvm2008):");
+    for bench in suite() {
+        let p = bench.program();
+        println!(
+            "  {:<22} {:>5} classes {:>6} methods {:>6} call sites",
+            bench.name,
+            p.classes().len(),
+            p.methods().len(),
+            p.sites().len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let p = load(args)?;
+    let scope = scope_of(args)?;
+    let bits: u8 = match flag(args, "--width") {
+        Some(w) => w.parse().map_err(|_| "bad --width value".to_string())?,
+        None => 64,
+    };
+    let config = PlanConfig::default()
+        .with_scope(scope)
+        .with_width(EncodingWidth::new(bits));
+    let graph = CallGraph::build(
+        &p,
+        &GraphConfig {
+            analysis: Analysis::Cha,
+            scope,
+            include_dynamic: false,
+        },
+    );
+    let stats = GraphStats::compute(&p, &graph);
+    println!("{}:", p.name());
+    println!(
+        "  call graph: {} nodes, {} edges, {} call sites ({} virtual), {} roots",
+        stats.nodes,
+        stats.edges,
+        stats.call_sites,
+        stats.virtual_call_sites,
+        graph.roots().len()
+    );
+    let plan = EncodingPlan::analyze(&p, &config).map_err(|e| e.to_string())?;
+    let enc = plan.encoding();
+    println!(
+        "  plan ({} encoding): {} instrumented methods, {} sites with ID arithmetic",
+        config.width,
+        plan.instrumented_method_count(),
+        plan.instrumented_site_count()
+    );
+    println!(
+        "  anchors: {} total ({} from overflow, {} analysis restarts)",
+        enc.anchors.len(),
+        enc.overflow_anchor_count(),
+        enc.restarts
+    );
+    println!(
+        "  encoding space: max ICC {} (max ID {})",
+        enc.max_icc,
+        enc.required_max_id()
+    );
+    println!("  SID sets: {}", plan.sids().set_count());
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let p = load(args)?;
+    let scope = scope_of(args)?;
+    let graph = CallGraph::build(
+        &p,
+        &GraphConfig {
+            analysis: Analysis::Cha,
+            scope,
+            include_dynamic: false,
+        },
+    );
+    print!("{}", graph.to_dot(&p));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let p = load(args)?;
+    let encoder_name = flag(args, "--encoder").unwrap_or_else(|| "deltapath".to_owned());
+    let plan_config = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
+    let plan = EncodingPlan::analyze(&p, &plan_config).map_err(|e| e.to_string())?;
+    let nocpt = EncodingPlan::analyze(&p, &plan_config.clone().with_cpt(false))
+        .map_err(|e| e.to_string())?;
+    let vm_config = VmConfig::default().with_collect(CollectMode::Entries);
+
+    let started = std::time::Instant::now();
+    let (run, counts, unique) = match encoder_name.as_str() {
+        "native" => {
+            let mut vm = Vm::new(&p, vm_config);
+            let run = vm
+                .run(&mut NullEncoder, &mut NullCollector)
+                .map_err(|e| e.to_string())?;
+            (run, Default::default(), 0)
+        }
+        "pcc" => run_one(&p, vm_config, PccEncoder::from_plan(&plan, PccWidth::Bits32))?,
+        "deltapath" => run_one(&p, vm_config, DeltaEncoder::new(&plan))?,
+        "deltapath-nocpt" => run_one(&p, vm_config, DeltaEncoder::new(&nocpt))?,
+        "stackwalk" => run_one(&p, vm_config, StackWalkEncoder::full())?,
+        "cct" => run_one(&p, vm_config, CctEncoder::new())?,
+        other => return Err(format!("unknown encoder {other:?}")),
+    };
+    let elapsed = started.elapsed();
+    println!(
+        "{} under {encoder_name}: {} calls, base cost {}, wall time {:.2?}",
+        p.name(),
+        run.calls,
+        run.base_cost,
+        elapsed
+    );
+    println!(
+        "  encoder ops: adds {}, subs {}, hashes {}, sid checks {}, pushes {}, pops {}, walked {}",
+        counts.adds,
+        counts.subs,
+        counts.hashes,
+        counts.sid_checks,
+        counts.pushes,
+        counts.pops,
+        counts.walked_frames
+    );
+    if unique > 0 {
+        println!("  unique contexts captured: {unique}");
+    }
+    Ok(())
+}
+
+fn run_one<E: ContextEncoder>(
+    p: &Program,
+    vm_config: VmConfig,
+    mut encoder: E,
+) -> Result<(deltapath::RunStats, deltapath::OpCounts, usize), String> {
+    let mut vm = Vm::new(p, vm_config);
+    let mut stats = ContextStats::new();
+    let run = vm.run(&mut encoder, &mut stats).map_err(|e| e.to_string())?;
+    Ok((run, encoder.counts(), stats.unique_contexts()))
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let p = load(args)?;
+    let plan = EncodingPlan::analyze(
+        &p,
+        &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut vm = Vm::new(
+        &p,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut encoder, &mut log).map_err(|e| e.to_string())?;
+
+    let decoder = plan.decoder();
+    let mut by_context: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut outside = 0usize;
+    let mut errors = 0usize;
+    for (_, at, capture) in &log.events {
+        if plan.entry(*at).is_none() {
+            // The event fired inside unencoded (library) code: under
+            // selective encoding there is no context to decode there.
+            outside += 1;
+            continue;
+        }
+        let Capture::Delta(ctx) = capture else {
+            continue;
+        };
+        match decoder.decode(ctx) {
+            Ok(context) => {
+                let pretty: Vec<String> =
+                    context.iter().map(|&m| p.method_name(m)).collect();
+                *by_context.entry(pretty).or_default() += 1;
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    println!(
+        "{}: {} events ({} in unencoded library code, skipped), {} distinct contexts, {} decode failures",
+        p.name(),
+        log.events.len(),
+        outside,
+        by_context.len(),
+        errors
+    );
+    let mut ranked: Vec<_> = by_context.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (context, count) in ranked.iter().take(10) {
+        println!("{count:>8}x  {}", context.join(" -> "));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["compress", "--scope", "all", "--width", "32"]);
+        assert_eq!(flag(&a, "--scope").as_deref(), Some("all"));
+        assert_eq!(flag(&a, "--width").as_deref(), Some("32"));
+        assert_eq!(flag(&a, "--missing"), None);
+        // Flag at the end without a value.
+        let b = args(&["x", "--scope"]);
+        assert_eq!(flag(&b, "--scope"), None);
+    }
+
+    #[test]
+    fn scope_parsing() {
+        assert_eq!(
+            scope_of(&args(&["x"])).unwrap(),
+            ScopeFilter::ApplicationOnly
+        );
+        assert_eq!(
+            scope_of(&args(&["x", "--scope", "app"])).unwrap(),
+            ScopeFilter::ApplicationOnly
+        );
+        assert_eq!(
+            scope_of(&args(&["x", "--scope", "all"])).unwrap(),
+            ScopeFilter::All
+        );
+        assert!(scope_of(&args(&["x", "--scope", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn load_rejects_unknown_benchmarks() {
+        assert!(load(&args(&["not-a-benchmark"])).is_err());
+        assert!(load(&[]).is_err());
+    }
+}

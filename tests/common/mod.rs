@@ -1,0 +1,133 @@
+//! Shared helpers for the integration tests: running a program under
+//! DeltaPath and under stack walking (ground truth), and comparing the
+//! decoded contexts event by event.
+
+use deltapath::{
+    Capture, CollectMode, Collector, DeltaEncoder, EncodingPlan, MethodId, Program,
+    StackWalkEncoder, Vm, VmConfig,
+};
+
+/// Records every capture (entries and observes) in execution order.
+#[derive(Default)]
+pub struct CaptureLog {
+    pub records: Vec<(MethodId, Capture)>,
+}
+
+impl Collector for CaptureLog {
+    fn record_entry(&mut self, method: MethodId, _true_depth: usize, capture: Capture) {
+        self.records.push((method, capture));
+    }
+
+    fn record_observe(&mut self, _event: u32, method: MethodId, capture: Capture) {
+        self.records.push((method, capture));
+    }
+}
+
+/// The outcome of comparing DeltaPath decodes against walked ground truth.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Events decoded to exactly the walked (plan-filtered) context.
+    pub exact: usize,
+    /// Events involving code outside the plan (dynamic classes, excluded
+    /// scope) where the decode differed or was reported ambiguous — the
+    /// paper's benign-UCP imprecision; tolerated but counted.
+    pub tolerated: usize,
+    /// Events with no out-of-plan code on the stack that failed — real
+    /// bugs.
+    pub hard_failures: Vec<String>,
+}
+
+impl Comparison {
+    /// Fraction of events decoded exactly.
+    #[allow(dead_code)] // not every integration test consults the ratio
+    pub fn exact_fraction(&self) -> f64 {
+        let total = self.exact + self.tolerated;
+        if total == 0 {
+            1.0
+        } else {
+            self.exact as f64 / total as f64
+        }
+    }
+}
+
+/// Runs `program` once under DeltaPath and once under full stack walking
+/// (the interpreter is deterministic, so the two runs see identical events)
+/// and checks, for every collected event, that the DeltaPath decode equals
+/// the walked stack filtered to plan-instrumented methods.
+///
+/// Mismatches are tolerated only when the true stack contains a method
+/// outside the plan (a dynamically loaded or scope-excluded frame): the SID
+/// check can classify such paths as benign when sets were merged
+/// transitively — a documented imprecision of the paper's technique, not of
+/// this implementation.
+pub fn compare_against_ground_truth(program: &Program, plan: &EncodingPlan) -> Comparison {
+    let vm_config = VmConfig::default().with_collect(CollectMode::Entries);
+
+    let mut delta_log = CaptureLog::default();
+    let mut vm = Vm::new(program, vm_config);
+    let mut delta = DeltaEncoder::new(plan);
+    vm.run(&mut delta, &mut delta_log).expect("delta run");
+
+    let mut walk_log = CaptureLog::default();
+    let mut vm = Vm::new(program, vm_config);
+    let mut walk = StackWalkEncoder::full();
+    vm.run(&mut walk, &mut walk_log).expect("walk run");
+
+    assert_eq!(
+        delta_log.records.len(),
+        walk_log.records.len(),
+        "the two runs must observe identical event sequences"
+    );
+
+    let decoder = plan.decoder();
+    let mut cmp = Comparison::default();
+    for ((at_d, cap_d), (at_w, cap_w)) in delta_log.records.iter().zip(&walk_log.records) {
+        assert_eq!(at_d, at_w, "event order diverged");
+        if plan.entry(*at_d).is_none() {
+            // An observation point inside excluded (library/dynamic) code:
+            // selective encoding does not instrument it, so there is no
+            // context to decode there — the real system would not have
+            // injected the probe either.
+            continue;
+        }
+        let Capture::Delta(ctx) = cap_d else {
+            unreachable!("delta run captures Delta")
+        };
+        let Capture::Walk(full_stack) = cap_w else {
+            unreachable!("walk run captures Walk")
+        };
+        let truth: Vec<MethodId> = full_stack
+            .iter()
+            .copied()
+            .filter(|&m| plan.entry(m).is_some())
+            .collect();
+        let out_of_plan = full_stack.iter().any(|&m| plan.entry(m).is_none());
+        match decoder.decode(ctx) {
+            Ok(decoded) if decoded == truth => cmp.exact += 1,
+            Ok(decoded) => {
+                if out_of_plan {
+                    cmp.tolerated += 1;
+                } else {
+                    cmp.hard_failures.push(format!(
+                        "at {}: decoded {:?}, truth {:?} (ctx {ctx})",
+                        program.method_name(*at_d),
+                        decoded,
+                        truth
+                    ));
+                }
+            }
+            Err(e) => {
+                if out_of_plan {
+                    cmp.tolerated += 1;
+                } else {
+                    cmp.hard_failures.push(format!(
+                        "at {}: decode error {e} (ctx {ctx}, truth {:?})",
+                        program.method_name(*at_d),
+                        truth
+                    ));
+                }
+            }
+        }
+    }
+    cmp
+}

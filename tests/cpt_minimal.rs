@@ -1,0 +1,163 @@
+//! Minimal call-path tracking (paper Section 8, "Optimizations"): calls
+//! with fixed targets skip the expected-SID save, and methods reachable
+//! only through such calls skip the entry check — without giving up
+//! correctness where unexpected entries are possible.
+
+mod common;
+
+use common::compare_against_ground_truth;
+use deltapath::workloads::figures::figure7_program;
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    CollectMode, ContextEncoder, DeltaEncoder, EncodingPlan, MethodKind, NullCollector,
+    PlanConfig, Program, ProgramBuilder, Receiver, ScopeFilter, Vm, VmConfig,
+};
+
+/// main calls a static-only chain and a virtual family.
+fn mixed_program() -> Program {
+    let mut b = ProgramBuilder::new("mixed");
+    let a = b.add_class("A", None);
+    let c1 = b.add_class("C1", Some(a));
+    b.method(a, "f", MethodKind::Virtual).finish();
+    b.method(c1, "f", MethodKind::Virtual).finish();
+    b.method(a, "leaf", MethodKind::Static).finish();
+    b.method(a, "chain", MethodKind::Static)
+        .body(|f| {
+            f.call(a, "leaf");
+        })
+        .finish();
+    let main = b
+        .method(a, "main", MethodKind::Static)
+        .body(|f| {
+            f.call(a, "chain");
+            f.vcall(a, "f", Receiver::Cycle(vec![a, c1]));
+        })
+        .finish();
+    b.entry(main);
+    b.finish().unwrap()
+}
+
+fn method(p: &Program, class: &str, name: &str) -> deltapath::MethodId {
+    p.declared_method(
+        p.class_by_name(class).unwrap(),
+        p.symbols().lookup(name).unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn minimal_mode_skips_fixed_target_tracking() {
+    let p = mixed_program();
+    let full = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+    let minimal =
+        EncodingPlan::analyze(&p, &PlanConfig::default().with_cpt_minimal()).unwrap();
+
+    // Full mode: everything checks and saves.
+    assert!(full.entry(method(&p, "A", "leaf")).unwrap().check_sid);
+    // Minimal: the static-only chain drops both the checks and the saves.
+    for name in ["leaf", "chain"] {
+        assert!(
+            !minimal.entry(method(&p, "A", name)).unwrap().check_sid,
+            "{name} must skip the entry check"
+        );
+    }
+    // Virtual dispatch targets keep the check.
+    assert!(minimal.entry(method(&p, "A", "f")).unwrap().check_sid);
+    assert!(minimal.entry(method(&p, "C1", "f")).unwrap().check_sid);
+    // Sites: main->chain untracked, the vcall tracked.
+    for site in p.sites() {
+        let instr = minimal.site(site.id()).unwrap();
+        match site.kind() {
+            deltapath::ir::CallKind::Virtual => assert!(instr.tracked),
+            deltapath::ir::CallKind::Static => assert!(!instr.tracked),
+        }
+    }
+}
+
+#[test]
+fn minimal_mode_reduces_tracking_ops_and_stays_exact() {
+    // A selective-encoding workload with library callbacks but no dynamic
+    // classes: minimal tracking must remain exactly as precise as full
+    // tracking while executing strictly fewer tracking operations.
+    let program = generate(&SyntheticConfig {
+        name: "minimal".to_owned(),
+        seed: 404,
+        cross_scope_prob: 0.45,
+        callback_prob: 0.15,
+        dynamic_subclass_prob: 0.0,
+        main_loop_iters: 3,
+        ..SyntheticConfig::default()
+    });
+    let base = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
+    let full = EncodingPlan::analyze(&program, &base).unwrap();
+    let minimal =
+        EncodingPlan::analyze(&program, &base.clone().with_cpt_minimal()).unwrap();
+
+    let ops = |plan: &EncodingPlan| {
+        let mut vm = Vm::new(&program, VmConfig::default());
+        let mut enc = DeltaEncoder::new(plan);
+        vm.run(&mut enc, &mut NullCollector).unwrap();
+        enc.counts()
+    };
+    let full_ops = ops(&full);
+    let min_ops = ops(&minimal);
+    assert!(
+        min_ops.pending_saves < full_ops.pending_saves,
+        "minimal mode must save less ({} vs {})",
+        min_ops.pending_saves,
+        full_ops.pending_saves
+    );
+    assert!(min_ops.sid_checks < full_ops.sid_checks);
+    // Identical ID arithmetic — the encoding itself is unchanged.
+    assert_eq!(min_ops.adds, full_ops.adds);
+
+    for (label, plan) in [("full", &full), ("minimal", &minimal)] {
+        let cmp = compare_against_ground_truth(&program, plan);
+        assert!(
+            cmp.hard_failures.is_empty(),
+            "{label}: {:?}",
+            cmp.hard_failures
+        );
+        assert!(
+            cmp.exact_fraction() > 0.9,
+            "{label}: only {:.2} exact",
+            cmp.exact_fraction()
+        );
+    }
+}
+
+#[test]
+fn minimal_mode_still_detects_scope_exit_ucps() {
+    // Figure 7 under minimal tracking: the boundary site (no in-graph
+    // targets) stays tracked and G (a scope-exit candidate) still checks,
+    // so the hazardous UCP is detected and the context decodes to A B G.
+    let program = figure7_program();
+    let plan = EncodingPlan::analyze(
+        &program,
+        &PlanConfig::default()
+            .with_scope(ScopeFilter::ApplicationOnly)
+            .with_cpt_minimal(),
+    )
+    .unwrap();
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut enc = DeltaEncoder::new(&plan);
+    let mut log = deltapath::EventLog::default();
+    vm.run(&mut enc, &mut log).unwrap();
+    let decoder = plan.decoder();
+    for (_, _, capture) in &log.events {
+        let deltapath::Capture::Delta(ctx) = capture else {
+            unreachable!()
+        };
+        assert_eq!(ctx.ucp_count(), 1);
+        let pretty: Vec<String> = decoder
+            .decode(ctx)
+            .unwrap()
+            .iter()
+            .map(|&m| program.method_name(m))
+            .collect();
+        assert_eq!(pretty, vec!["A.run", "B.b", "G.g"]);
+    }
+}

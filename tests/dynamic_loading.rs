@@ -1,0 +1,152 @@
+//! Dynamic class loading (paper Section 4.1, Figure 6): benign unexpected
+//! call paths pass the SID check and keep the encoding correct with the
+//! dynamic frame elided; hazardous ones are detected at entry and the
+//! encoding restarts, keeping everything decodable.
+
+mod common;
+
+use common::compare_against_ground_truth;
+use deltapath::workloads::figures::figure6_program;
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, PlanConfig, Vm, VmConfig,
+};
+
+#[test]
+fn figure6_benign_and_hazardous_paths() {
+    let program = figure6_program();
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+    // The dynamic plugins are not instrumented.
+    let xb = program.class_by_name("XBenign").unwrap();
+    let handle = program.symbols().lookup("handle").unwrap();
+    let xb_handle = program.declared_method(xb, handle).unwrap();
+    assert!(plan.entry(xb_handle).is_none());
+
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    let stats = vm.run(&mut encoder, &mut log).unwrap();
+    assert_eq!(stats.dynamic_loads, 2); // XBenign and XHazard
+
+    let decoder = plan.decoder();
+    let mut benign_d_contexts = 0;
+    let mut hazardous_e_contexts = 0;
+    for (event, _, capture) in &log.events {
+        let Capture::Delta(ctx) = capture else {
+            unreachable!()
+        };
+        let decoded = decoder.decode(ctx).unwrap();
+        let pretty: Vec<String> = decoded
+            .iter()
+            .map(|&m| program.method_name(m))
+            .collect();
+        match event {
+            // D.d events: reached directly (Main->B->DHandler->D) or via the
+            // benign plugin (Main->B->(XBenign)->DHandler->D). Both decode
+            // to the same elided context with NO UCP frame.
+            2 => {
+                assert_eq!(
+                    pretty,
+                    vec!["Main.run", "B.b", "DHandler.handle", "D.d"],
+                    "benign path must decode with the plugin elided"
+                );
+                if ctx.ucp_count() == 0 {
+                    benign_d_contexts += 1;
+                }
+            }
+            // E.e events: via C.c (normal) or via the hazardous plugin.
+            1 => {
+                if ctx.ucp_count() > 0 {
+                    hazardous_e_contexts += 1;
+                    assert_eq!(
+                        pretty,
+                        vec!["Main.run", "B.b", "E.e"],
+                        "hazardous path decodes to the boundary-accurate context"
+                    );
+                } else {
+                    assert_eq!(pretty, vec!["Main.run", "C.c", "E.e"]);
+                }
+            }
+            other => panic!("unexpected event {other}"),
+        }
+    }
+    assert!(benign_d_contexts > 0, "benign plugin path must occur");
+    assert!(hazardous_e_contexts > 0, "hazardous plugin path must occur");
+}
+
+#[test]
+fn figure6_without_cpt_corrupts_hazardous_decodes() {
+    // The motivation for call-path tracking: with CPT disabled, the
+    // hazardous path either mis-decodes or errors — it cannot be correct.
+    let program = figure6_program();
+    let plan =
+        EncodingPlan::analyze(&program, &PlanConfig::default().with_cpt(false)).unwrap();
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut encoder, &mut log).unwrap();
+
+    let decoder = plan.decoder();
+    let mut e_events = 0;
+    let mut decoded_b_path = 0;
+    for (event, _, capture) in &log.events {
+        let Capture::Delta(ctx) = capture else {
+            unreachable!()
+        };
+        if *event != 1 {
+            continue; // only E.e events can be corrupted here
+        }
+        e_events += 1;
+        if let Ok(decoded) = decoder.decode(ctx) {
+            let pretty: Vec<String> = decoded
+                .iter()
+                .map(|&m| program.method_name(m))
+                .collect();
+            if pretty == vec!["Main.run", "B.b", "E.e"] {
+                decoded_b_path += 1;
+            }
+        }
+    }
+    // Four E events occur (three via C, one via the hazardous plugin from
+    // B), but without call-path tracking the B-path context is never
+    // recovered: it either mis-decodes (the paper's ABXE -> ACE corruption)
+    // or fails — the hazard is invisible or wrong, never correct.
+    assert_eq!(e_events, 4);
+    assert_eq!(
+        decoded_b_path, 0,
+        "wo/CPT the hazardous B path must be unrecoverable"
+    );
+}
+
+#[test]
+fn generated_programs_with_dynamic_classes_stay_decodable() {
+    for seed in [51u64, 52, 53, 54] {
+        let program = generate(&SyntheticConfig {
+            name: format!("dyn{seed}"),
+            seed,
+            dynamic_subclass_prob: 0.6,
+            dynamic_receiver_prob: 0.3,
+            main_loop_iters: 3,
+            ..SyntheticConfig::default()
+        });
+        let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+        let cmp = compare_against_ground_truth(&program, &plan);
+        assert!(
+            cmp.hard_failures.is_empty(),
+            "seed {seed}: {:?}",
+            cmp.hard_failures
+        );
+        assert!(
+            cmp.exact_fraction() > 0.85,
+            "seed {seed}: only {:.2} exact ({} tolerated)",
+            cmp.exact_fraction(),
+            cmp.tolerated
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The textual program format round-trips every generated workload: parsing
+//! a program's listing reproduces an identical program (structure, ids, and
+//! therefore encodings).
+
+use deltapath::ir::parse_program;
+
+/// Strips the ` // s<N>` site-id comments: site numbering follows method
+/// build order, which the original builder and the parser may legitimately
+/// differ on; everything else must match byte for byte.
+fn normalized(listing: &str) -> String {
+    listing
+        .lines()
+        .map(|l| match l.find("// s") {
+            Some(ix) => l[..ix].trim_end().to_owned(),
+            None => l.to_owned(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+use deltapath::workloads::figures::{figure4_program, figure6_program, figure7_program};
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{EncodingPlan, PlanConfig};
+
+#[test]
+fn figure_programs_round_trip() {
+    for program in [figure4_program(), figure6_program(), figure7_program()] {
+        let listing = program.to_string();
+        let parsed = parse_program(&listing).unwrap_or_else(|e| panic!("{e}\n{listing}"));
+        assert_eq!(normalized(&listing), normalized(&parsed.to_string()));
+    }
+}
+
+#[test]
+fn generated_programs_round_trip() {
+    for seed in [1u64, 17, 99] {
+        let program = generate(&SyntheticConfig {
+            name: format!("rt{seed}"),
+            seed,
+            ..SyntheticConfig::default()
+        });
+        let listing = program.to_string();
+        let parsed = parse_program(&listing).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            normalized(&listing),
+            normalized(&parsed.to_string()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn parsed_programs_produce_identical_plans() {
+    let program = generate(&SyntheticConfig::default());
+    let parsed = parse_program(&program.to_string()).unwrap();
+    let plan_a = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+    let plan_b = EncodingPlan::analyze(&parsed, &PlanConfig::default()).unwrap();
+    assert_eq!(
+        plan_a.instrumented_site_count(),
+        plan_b.instrumented_site_count()
+    );
+    assert_eq!(
+        plan_a.instrumented_method_count(),
+        plan_b.instrumented_method_count()
+    );
+    assert_eq!(
+        plan_a.encoding().anchors.len(),
+        plan_b.encoding().anchors.len()
+    );
+    // Site numbering (and hence exact addition values) may legitimately
+    // differ; what must hold is that the parsed program's plan verifies.
+    let report = deltapath::core::verify::verify_plan(&plan_b, 1, 20_000)
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(report.contexts, report.unique);
+}

@@ -1,0 +1,201 @@
+//! Property-based tests: random program shapes must uphold the paper's
+//! core guarantees — unique encodings, exact round-trip decoding, and
+//! anchor-bounded encoding spaces — across the whole configuration space of
+//! the generator.
+
+mod common;
+
+use common::compare_against_ground_truth;
+use deltapath::core::verify::verify_plan;
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{Analysis, EncodingPlan, EncodingWidth, PlanConfig, ScopeFilter};
+use proptest::prelude::*;
+
+/// A generator-config strategy over closed-world programs (no library or
+/// dynamic code): DeltaPath must be exact on these, bit for bit.
+fn closed_world_configs() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        any::<u64>(),
+        2usize..5,   // app families
+        2usize..6,   // layers
+        2usize..7,   // methods per layer
+        1usize..4,   // max calls per method
+        0.0f64..0.8, // virtual fraction
+        0.0f64..0.2, // recursion probability
+        0.0f64..0.6, // call guard probability
+    )
+        .prop_map(
+            |(seed, families, layers, mpl, calls, vfrac, rec, guard)| SyntheticConfig {
+                name: format!("prop{seed}"),
+                seed,
+                app_families: families,
+                lib_families: 0,
+                lib_methods_per_layer: 0,
+                cross_scope_prob: 0.0,
+                dynamic_subclass_prob: 0.0,
+                layers,
+                methods_per_layer: mpl,
+                calls_per_method: (1, calls),
+                virtual_fraction: vfrac,
+                recursion_prob: rec,
+                call_guard_prob: guard,
+                main_loop_iters: 2,
+                ..SyntheticConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Exhaustive static verification: every enumerated context encodes
+    /// uniquely and decodes back exactly, for both CHA and exact dispatch
+    /// analyses.
+    #[test]
+    fn encodings_are_injective_and_decodable(config in closed_world_configs()) {
+        let program = generate(&config);
+        for analysis in [Analysis::Cha, Analysis::Exact] {
+            let plan = EncodingPlan::analyze(
+                &program,
+                &PlanConfig::default().with_analysis(analysis),
+            ).expect("plan analysis");
+            let report = verify_plan(&plan, 1, 20_000)
+                .unwrap_or_else(|e| panic!("seed {}: {e}", config.seed));
+            prop_assert_eq!(report.contexts, report.unique);
+        }
+    }
+
+    /// Dynamic round-trip: every context captured during execution decodes
+    /// to the walked ground truth.
+    #[test]
+    fn execution_round_trips(config in closed_world_configs()) {
+        let program = generate(&config);
+        let plan = EncodingPlan::analyze(&program, &PlanConfig::default())
+            .expect("plan analysis");
+        let cmp = compare_against_ground_truth(&program, &plan);
+        prop_assert!(cmp.hard_failures.is_empty(), "{:?}", cmp.hard_failures);
+        prop_assert_eq!(cmp.tolerated, 0);
+    }
+
+    /// Narrow widths must either fail loudly or produce encodings whose
+    /// per-piece space fits — never silently overflow — and stay exact.
+    #[test]
+    fn narrow_widths_stay_exact(config in closed_world_configs(), bits in 4u8..12) {
+        let program = generate(&config);
+        let width = EncodingWidth::new(bits);
+        match EncodingPlan::analyze(&program, &PlanConfig::default().with_width(width)) {
+            Ok(plan) => {
+                prop_assert!(plan.encoding().max_icc <= width.capacity());
+                let cmp = compare_against_ground_truth(&program, &plan);
+                prop_assert!(cmp.hard_failures.is_empty(), "{:?}", cmp.hard_failures);
+            }
+            Err(e) => {
+                // WidthTooSmall is a legitimate outcome for tiny widths.
+                prop_assert!(matches!(e, deltapath::EncodeError::WidthTooSmall { .. }), "{e}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Open-world programs (libraries, callbacks, dynamic classes) under
+    /// selective encoding: never a hard failure, and the documented
+    /// benign-UCP imprecision stays rare.
+    #[test]
+    fn open_world_selective_encoding_is_safe(
+        seed in any::<u64>(),
+        callback in 0.0f64..0.3,
+        dynprob in 0.0f64..0.6,
+    ) {
+        let program = generate(&SyntheticConfig {
+            name: format!("open{seed}"),
+            seed,
+            cross_scope_prob: 0.4,
+            callback_prob: callback,
+            dynamic_subclass_prob: dynprob,
+            dynamic_receiver_prob: 0.25,
+            main_loop_iters: 2,
+            layers: 5,
+            ..SyntheticConfig::default()
+        });
+        let plan = EncodingPlan::analyze(
+            &program,
+            &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+        ).expect("plan analysis");
+        let cmp = compare_against_ground_truth(&program, &plan);
+        prop_assert!(cmp.hard_failures.is_empty(), "{:?}", cmp.hard_failures);
+        prop_assert!(
+            cmp.exact_fraction() > 0.8,
+            "only {:.2} exact ({} tolerated)",
+            cmp.exact_fraction(),
+            cmp.tolerated
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Analysis precision ordering on random programs: every Exact dispatch
+    /// edge is an RTA edge, and every RTA edge is a CHA edge.
+    #[test]
+    fn analysis_precision_is_ordered(seed in any::<u64>()) {
+        use deltapath::{CallGraph, GraphConfig};
+        use std::collections::HashSet;
+
+        let program = generate(&SyntheticConfig {
+            name: format!("ord{seed}"),
+            seed,
+            ..SyntheticConfig::default()
+        });
+        let edges = |analysis: Analysis| -> HashSet<(deltapath::MethodId, deltapath::MethodId, deltapath::SiteId)> {
+            let g = CallGraph::build(&program, &GraphConfig::new(analysis));
+            g.edges()
+                .iter()
+                .map(|e| (g.method_of(e.caller), g.method_of(e.callee), e.site))
+                .collect()
+        };
+        let exact = edges(Analysis::Exact);
+        let rta = edges(Analysis::Rta);
+        let cha = edges(Analysis::Cha);
+        prop_assert!(exact.is_subset(&rta), "Exact ⊆ RTA violated");
+        prop_assert!(rta.is_subset(&cha), "RTA ⊆ CHA violated");
+    }
+
+    /// Minimal call-path tracking never changes the encoding itself (same
+    /// addition values, same anchors) — it only drops tracking operations.
+    #[test]
+    fn minimal_cpt_preserves_the_encoding(seed in any::<u64>()) {
+        let program = generate(&SyntheticConfig {
+            name: format!("mincpt{seed}"),
+            seed,
+            main_loop_iters: 1,
+            ..SyntheticConfig::default()
+        });
+        let full = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+        let minimal = EncodingPlan::analyze(
+            &program,
+            &PlanConfig::default().with_cpt_minimal(),
+        )
+        .unwrap();
+        prop_assert_eq!(&full.encoding().site_av, &minimal.encoding().site_av);
+        prop_assert_eq!(&full.encoding().anchors, &minimal.encoding().anchors);
+        // And tracking only ever shrinks.
+        for site in program.sites() {
+            if let (Some(f), Some(m)) = (full.site(site.id()), minimal.site(site.id())) {
+                prop_assert!(f.tracked || !m.tracked);
+            }
+        }
+    }
+}

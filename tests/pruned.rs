@@ -1,0 +1,120 @@
+//! Pruned encoding (paper Section 8): when only a known set of target
+//! functions is ever queried, methods that cannot lead to a target carry no
+//! instrumentation at all, and the targets' contexts stay fully decodable.
+
+use deltapath::core::prune_to_targets;
+use deltapath::{
+    Analysis, Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, GraphConfig, MethodKind,
+    PlanConfig, Program, ProgramBuilder, Vm, VmConfig,
+};
+
+/// main fans out into a "hot side" leading to the target and a "cold side"
+/// that never reaches it.
+fn program() -> Program {
+    let mut b = ProgramBuilder::new("pruned");
+    let c = b.add_class("C", None);
+    b.method(c, "target", MethodKind::Static)
+        .body(|f| {
+            f.observe(9);
+        })
+        .finish();
+    b.method(c, "hot1", MethodKind::Static)
+        .body(|f| {
+            f.call(c, "target");
+        })
+        .finish();
+    b.method(c, "hot2", MethodKind::Static)
+        .body(|f| {
+            f.call(c, "hot1");
+            f.call(c, "target");
+        })
+        .finish();
+    b.method(c, "cold_leaf", MethodKind::Static).work(5).finish();
+    b.method(c, "cold", MethodKind::Static)
+        .body(|f| {
+            f.loop_(10, |f| {
+                f.call(c, "cold_leaf");
+            });
+        })
+        .finish();
+    let main = b
+        .method(c, "main", MethodKind::Static)
+        .body(|f| {
+            f.call(c, "hot2");
+            f.call(c, "cold");
+            f.call(c, "hot1");
+        })
+        .finish();
+    b.entry(main);
+    b.finish().unwrap()
+}
+
+fn method(p: &Program, name: &str) -> deltapath::MethodId {
+    p.declared_method(
+        p.class_by_name("C").unwrap(),
+        p.symbols().lookup(name).unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pruned_plan_skips_cold_code_and_decodes_targets() {
+    let p = program();
+    let full_graph =
+        deltapath::CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+    let pruned = prune_to_targets(&full_graph, &[method(&p, "target")]);
+    let plan = EncodingPlan::from_graph(&p, pruned, &PlanConfig::default()).unwrap();
+
+    // Cold code carries no instrumentation at all.
+    assert!(plan.entry(method(&p, "cold")).is_none());
+    assert!(plan.entry(method(&p, "cold_leaf")).is_none());
+    assert!(plan.entry(method(&p, "hot1")).is_some());
+
+    // Run and decode every target event.
+    let mut vm = Vm::new(
+        &p,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut enc = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut enc, &mut log).unwrap();
+    assert_eq!(log.events.len(), 3); // main->hot2->hot1->t, main->hot2->t, main->hot1->t
+
+    let decoder = plan.decoder();
+    let mut decoded: Vec<Vec<String>> = log
+        .events
+        .iter()
+        .map(|(_, _, capture)| {
+            let Capture::Delta(ctx) = capture else {
+                unreachable!()
+            };
+            decoder
+                .decode(ctx)
+                .unwrap()
+                .iter()
+                .map(|&m| p.method_name(m))
+                .collect()
+        })
+        .collect();
+    decoded.sort();
+    assert_eq!(
+        decoded,
+        vec![
+            vec!["C.main", "C.hot1", "C.target"],
+            vec!["C.main", "C.hot2", "C.hot1", "C.target"],
+            vec!["C.main", "C.hot2", "C.target"],
+        ]
+    );
+}
+
+#[test]
+fn pruned_plan_is_cheaper_than_full_plan() {
+    let p = program();
+    let full = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+    let full_graph =
+        deltapath::CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+    let pruned_graph = prune_to_targets(&full_graph, &[method(&p, "target")]);
+    let pruned = EncodingPlan::from_graph(&p, pruned_graph, &PlanConfig::default()).unwrap();
+    assert!(pruned.instrumented_site_count() < full.instrumented_site_count());
+    assert!(pruned.instrumented_method_count() < full.instrumented_method_count());
+}

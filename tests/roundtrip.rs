@@ -1,0 +1,106 @@
+//! End-to-end round-trip: for programs with virtual dispatch, recursion and
+//! deep call chains (but no code outside the encoded scope), every context
+//! captured during execution must decode to exactly the walked stack, and
+//! distinct contexts must have distinct encodings.
+
+mod common;
+
+use common::compare_against_ground_truth;
+use deltapath::core::verify::verify_plan;
+use deltapath::workloads::figures::figure4_program;
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{EncodingPlan, EncodingWidth, PlanConfig};
+
+/// A synthetic configuration with nothing outside the encoded scope:
+/// DeltaPath must be exact on every single event.
+fn closed_world(seed: u64, layers: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        name: format!("closed{seed}"),
+        seed,
+        lib_families: 0,
+        lib_methods_per_layer: 0,
+        cross_scope_prob: 0.0,
+        dynamic_subclass_prob: 0.0,
+        layers,
+        main_loop_iters: 3,
+        ..SyntheticConfig::default()
+    }
+}
+
+#[test]
+fn figure4_round_trips_exactly() {
+    let program = figure4_program();
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+    let cmp = compare_against_ground_truth(&program, &plan);
+    assert!(cmp.hard_failures.is_empty(), "{:?}", cmp.hard_failures);
+    assert_eq!(cmp.tolerated, 0, "figure4 has no out-of-plan code");
+    assert!(cmp.exact > 10);
+}
+
+#[test]
+fn closed_world_programs_are_always_exact() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let program = generate(&closed_world(seed, 6));
+        let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+        let cmp = compare_against_ground_truth(&program, &plan);
+        assert!(
+            cmp.hard_failures.is_empty(),
+            "seed {seed}: {:?}",
+            cmp.hard_failures
+        );
+        assert_eq!(cmp.tolerated, 0, "seed {seed}: closed world");
+        assert!(cmp.exact > 50, "seed {seed} exercised too little");
+    }
+}
+
+#[test]
+fn closed_world_with_recursion_is_exact() {
+    for seed in [11u64, 12, 13] {
+        let program = generate(&SyntheticConfig {
+            recursion_prob: 0.15,
+            ..closed_world(seed, 5)
+        });
+        let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+        let cmp = compare_against_ground_truth(&program, &plan);
+        assert!(
+            cmp.hard_failures.is_empty(),
+            "seed {seed}: {:?}",
+            cmp.hard_failures
+        );
+        assert_eq!(cmp.tolerated, 0);
+    }
+}
+
+#[test]
+fn narrow_width_anchored_plans_are_exact() {
+    // Force overflow anchors with an 8-bit encoding integer; decoding must
+    // remain exact through the anchor pieces.
+    for seed in [21u64, 22] {
+        let program = generate(&closed_world(seed, 8));
+        let plan = EncodingPlan::analyze(
+            &program,
+            &PlanConfig::default().with_width(EncodingWidth::new(8)),
+        )
+        .unwrap();
+        let cmp = compare_against_ground_truth(&program, &plan);
+        assert!(
+            cmp.hard_failures.is_empty(),
+            "seed {seed}: {:?}",
+            cmp.hard_failures
+        );
+        assert_eq!(cmp.tolerated, 0);
+    }
+}
+
+#[test]
+fn exhaustive_verification_of_generated_plans() {
+    // Static exhaustive check (independent of the interpreter): enumerate
+    // contexts, simulate the state machine, decode, check injectivity.
+    for seed in [31u64, 32, 33] {
+        let program = generate(&closed_world(seed, 5));
+        let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+        let report = verify_plan(&plan, 1, 50_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(report.contexts, report.unique);
+        assert!(report.contexts > 20);
+    }
+}

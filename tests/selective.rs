@@ -1,0 +1,128 @@
+//! Selective encoding (paper Section 4.2, Figure 7): library classes are
+//! excluded from encoding; call-path tracking keeps the application-level
+//! context correct across the excluded region.
+
+mod common;
+
+use common::compare_against_ground_truth;
+use deltapath::workloads::figures::figure7_program;
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, FrameTag, PlanConfig, ScopeFilter,
+    Vm, VmConfig,
+};
+
+#[test]
+fn figure7_recovers_abg_from_abdfg() {
+    let program = figure7_program();
+    let plan = EncodingPlan::analyze(
+        &program,
+        &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+    )
+    .unwrap();
+
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut encoder, &mut log).unwrap();
+    assert_eq!(log.events.len(), 2); // the loop runs B twice
+
+    let decoder = plan.decoder();
+    for (_, _, capture) in &log.events {
+        let Capture::Delta(ctx) = capture else {
+            unreachable!()
+        };
+        // G's entry detected the hazardous UCP (expected SID was UNKNOWN).
+        assert_eq!(ctx.ucp_count(), 1);
+        assert_eq!(ctx.frames.last().unwrap().tag, FrameTag::Ucp);
+        // The concrete path is A.run -> B.b -> D.d -> F.f -> G.g; the
+        // decoded application context elides the library detour: A B G.
+        let decoded = decoder.decode(ctx).unwrap();
+        let pretty: Vec<String> = decoded
+            .iter()
+            .map(|&m| program.method_name(m))
+            .collect();
+        assert_eq!(pretty, vec!["A.run", "B.b", "G.g"]);
+    }
+}
+
+#[test]
+fn figure7_all_scope_needs_no_ucp() {
+    // With everything encoded, the same run has no unexpected paths and the
+    // full chain decodes.
+    let program = figure7_program();
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut log = EventLog::default();
+    vm.run(&mut encoder, &mut log).unwrap();
+    let Capture::Delta(ctx) = &log.events[0].2 else {
+        unreachable!()
+    };
+    assert_eq!(ctx.ucp_count(), 0);
+    let pretty: Vec<String> = plan
+        .decoder()
+        .decode(ctx)
+        .unwrap()
+        .iter()
+        .map(|&m| program.method_name(m))
+        .collect();
+    assert_eq!(pretty, vec!["A.run", "B.b", "D.d", "F.f", "G.g"]);
+}
+
+#[test]
+fn generated_programs_under_selective_encoding() {
+    // Library-heavy generated programs with callbacks: application contexts
+    // must stay decodable and overwhelmingly exact; mismatches may only
+    // occur on events with excluded frames on the stack (benign-UCP
+    // imprecision, see tests/common/mod.rs).
+    for seed in [41u64, 42, 43] {
+        let program = generate(&SyntheticConfig {
+            name: format!("sel{seed}"),
+            seed,
+            cross_scope_prob: 0.5,
+            callback_prob: 0.2,
+            dynamic_subclass_prob: 0.0,
+            main_loop_iters: 3,
+            ..SyntheticConfig::default()
+        });
+        let plan = EncodingPlan::analyze(
+            &program,
+            &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+        )
+        .unwrap();
+        let cmp = compare_against_ground_truth(&program, &plan);
+        assert!(
+            cmp.hard_failures.is_empty(),
+            "seed {seed}: {:?}",
+            cmp.hard_failures
+        );
+        assert!(
+            cmp.exact_fraction() > 0.9,
+            "seed {seed}: only {:.2} exact",
+            cmp.exact_fraction()
+        );
+    }
+}
+
+#[test]
+fn selective_encoding_instruments_fewer_sites() {
+    let program = generate(&SyntheticConfig {
+        cross_scope_prob: 0.5,
+        ..SyntheticConfig::default()
+    });
+    let all = EncodingPlan::analyze(&program, &PlanConfig::default()).unwrap();
+    let app = EncodingPlan::analyze(
+        &program,
+        &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+    )
+    .unwrap();
+    assert!(app.instrumented_site_count() < all.instrumented_site_count());
+    assert!(app.instrumented_method_count() < all.instrumented_method_count());
+}
