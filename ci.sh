@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Continuous-integration gate, runnable locally and fully offline: the
+# workspace has no registry dependencies (randomness is vendored, proptest
+# and criterion are behind non-default features), so every step below works
+# without network access.
+#
+#   ./ci.sh          # run everything
+#   ./ci.sh fast     # skip the release build (debug tests only)
+set -eu
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all --check
+step cargo clippy --workspace --all-targets -- -D warnings
+if [ "${1:-}" != "fast" ]; then
+    step cargo build --release
+fi
+step cargo test -q --workspace
+
+echo
+echo "CI OK"

@@ -209,21 +209,21 @@ impl<'a> BreadcrumbsDecoder<'a> {
             parent: usize,
             depth: usize,
         }
-        let reconstruct = |arena: &[State], graph: &deltapath_callgraph::CallGraph,
-                           mut ix: usize| {
-            let mut path = Vec::new();
-            loop {
-                path.push(graph.method_of(arena[ix].node));
-                if arena[ix].parent == usize::MAX {
-                    break;
+        let reconstruct =
+            |arena: &[State], graph: &deltapath_callgraph::CallGraph, mut ix: usize| {
+                let mut path = Vec::new();
+                loop {
+                    path.push(graph.method_of(arena[ix].node));
+                    if arena[ix].parent == usize::MAX {
+                        break;
+                    }
+                    ix = arena[ix].parent;
                 }
-                ix = arena[ix].parent;
-            }
-            // The found state is the outermost caller and parents lead back
-            // to the capture point, so the walk already yields
-            // outermost-first order.
-            path
-        };
+                // The found state is the outermost caller and parents lead back
+                // to the capture point, so the walk already yields
+                // outermost-first order.
+                path
+            };
         let mut arena: Vec<State> = vec![State {
             node: start,
             value,
@@ -387,8 +387,7 @@ mod tests {
         assert!(pruned_states <= plain_states);
         // A crumb-pruned decode of a value inconsistent with the crumbs
         // fails fast instead of wandering.
-        let (bogus, _) =
-            decoder.decode_with_crumbs(at, v ^ 0xF0F0, enc.cold_sites(), enc.crumbs());
+        let (bogus, _) = decoder.decode_with_crumbs(at, v ^ 0xF0F0, enc.cold_sites(), enc.crumbs());
         assert!(!matches!(bogus, BreadcrumbsOutcome::Unique(_)));
     }
 

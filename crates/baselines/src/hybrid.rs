@@ -579,7 +579,12 @@ mod tests {
         assert!(plan.delta_plan().entry(method(&p, "cold1")).is_some());
         assert!(plan.delta_plan().entry(method(&p, "hot")).is_none());
         // cold1 is a boundary target and must be an anchor.
-        assert!(plan.delta_plan().entry(method(&p, "cold1")).unwrap().is_anchor);
+        assert!(
+            plan.delta_plan()
+                .entry(method(&p, "cold1"))
+                .unwrap()
+                .is_anchor
+        );
     }
 
     #[test]
@@ -587,7 +592,7 @@ mod tests {
         let p = program();
         let plan = hybrid_plan(&p);
         let vm_config = VmConfig::default().with_collect(CollectMode::ObservesOnly);
-        let dict = plan.learn_dictionary(&p, vm_config);
+        let dict = plan.learn_dictionary(&p, vm_config.clone());
         assert!(!dict.is_empty());
         assert_eq!(dict.hash_conflicts, 0);
 
@@ -599,9 +604,8 @@ mod tests {
         assert_eq!(log.events.len(), 6);
 
         let decoder = HybridDecoder::new(&plan, &dict);
-        let names = |ms: &[MethodId]| -> Vec<String> {
-            ms.iter().map(|&m| p.method_name(m)).collect()
-        };
+        let names =
+            |ms: &[MethodId]| -> Vec<String> { ms.iter().map(|&m| p.method_name(m)).collect() };
         let mut cold_contexts = Vec::new();
         let mut trunk_contexts = Vec::new();
         for (event, _, capture) in &log.events {

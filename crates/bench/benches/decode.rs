@@ -31,7 +31,10 @@ fn collect(
     p: &deltapath_ir::Program,
     plan: &EncodingPlan,
 ) -> (deltapath_core::EncodedContext, u64, deltapath_ir::MethodId) {
-    let mut vm = Vm::new(p, VmConfig::default().with_collect(CollectMode::ObservesOnly));
+    let mut vm = Vm::new(
+        p,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
     let mut enc = DeltaEncoder::new(plan);
     let mut log = EventLog::default();
     vm.run(&mut enc, &mut log).expect("run");
@@ -39,7 +42,10 @@ fn collect(
     let Capture::Delta(ctx) = capture else {
         unreachable!()
     };
-    let mut vm = Vm::new(p, VmConfig::default().with_collect(CollectMode::ObservesOnly));
+    let mut vm = Vm::new(
+        p,
+        VmConfig::default().with_collect(CollectMode::ObservesOnly),
+    );
     let mut pcc = PccEncoder::from_plan(plan, PccWidth::Bits64);
     let mut log = EventLog::default();
     vm.run(&mut pcc, &mut log).expect("run");

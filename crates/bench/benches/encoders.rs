@@ -64,9 +64,7 @@ fn anchor_push_pop(c: &mut Criterion) {
     let graph = plan.graph();
     let target = graph
         .nodes()
-        .find(|&n| {
-            plan.encoding().is_anchor[n.index()] && !graph.in_edges(n).is_empty()
-        })
+        .find(|&n| plan.encoding().is_anchor[n.index()] && !graph.in_edges(n).is_empty())
         .map(|n| {
             let e = graph.edge(graph.in_edges(n)[0]);
             (graph.method_of(n), e.site)

@@ -24,7 +24,11 @@ fn main() {
         let info = back_edges(&graph);
         let excluded: HashSet<_> = info.back_edges.iter().copied().collect();
         let mut table = Table::new(&[
-            "width", "overflow anchors", "restarts", "max ICC", "anchors total",
+            "width",
+            "overflow anchors",
+            "restarts",
+            "max ICC",
+            "anchors total",
         ]);
         for bits in widths {
             // Narrow widths need hundreds-to-thousands of anchors; batched
@@ -52,7 +56,11 @@ fn main() {
                 ]),
             }
         }
-        println!("{name} ({} nodes, {} edges):", graph.node_count(), graph.edge_count());
+        println!(
+            "{name} ({} nodes, {} edges):",
+            graph.node_count(),
+            graph.edge_count()
+        );
         println!("{}", table.render());
     }
 }

@@ -58,7 +58,7 @@ fn main() {
 
         // Capture the same entry points under DeltaPath and PCC.
         let mut dp_log = EntryLog::default();
-        let mut vm = Vm::new(&program, vm_config);
+        let mut vm = Vm::new(&program, vm_config.clone());
         let mut dp = DeltaEncoder::new(&plan);
         vm.run(&mut dp, &mut dp_log).expect("dp run");
         let mut pcc_log = EntryLog::default();

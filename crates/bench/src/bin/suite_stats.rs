@@ -9,7 +9,13 @@ use deltapath_workloads::specjvm::suite;
 
 fn main() {
     let mut table = Table::new(&[
-        "program", "calls", "entries", "max dep", "avg dep", "observes", "dyn loads",
+        "program",
+        "calls",
+        "entries",
+        "max dep",
+        "avg dep",
+        "observes",
+        "dyn loads",
     ]);
     for bench in suite() {
         let program = bench.program();

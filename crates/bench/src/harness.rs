@@ -127,7 +127,7 @@ pub fn run_all_encoders(program: &Program, cost_model: &CostModel) -> Vec<Encode
     let mut results = Vec::new();
 
     {
-        let mut vm = Vm::new(program, vm_config);
+        let mut vm = Vm::new(program, vm_config.clone());
         let mut enc = NullEncoder;
         let mut stats = ContextStats::new();
         let run = vm.run(&mut enc, &mut stats).expect("native run");
@@ -139,7 +139,7 @@ pub fn run_all_encoders(program: &Program, cost_model: &CostModel) -> Vec<Encode
         });
     }
     {
-        let mut vm = Vm::new(program, vm_config);
+        let mut vm = Vm::new(program, vm_config.clone());
         let mut enc = PccEncoder::from_plan(&plan_cpt, PccWidth::Bits32);
         let mut stats = ContextStats::new();
         let run = vm.run(&mut enc, &mut stats).expect("pcc run");
@@ -151,7 +151,7 @@ pub fn run_all_encoders(program: &Program, cost_model: &CostModel) -> Vec<Encode
         });
     }
     {
-        let mut vm = Vm::new(program, vm_config);
+        let mut vm = Vm::new(program, vm_config.clone());
         let mut enc = DeltaEncoder::new(&plan_nocpt);
         let mut stats = ContextStats::new();
         let run = vm.run(&mut enc, &mut stats).expect("deltapath wo/cpt run");
@@ -163,7 +163,7 @@ pub fn run_all_encoders(program: &Program, cost_model: &CostModel) -> Vec<Encode
         });
     }
     {
-        let mut vm = Vm::new(program, vm_config);
+        let mut vm = Vm::new(program, vm_config.clone());
         let mut enc = DeltaEncoder::new(&plan_cpt);
         let mut stats = ContextStats::new();
         let run = vm.run(&mut enc, &mut stats).expect("deltapath w/cpt run");
@@ -211,7 +211,10 @@ mod tests {
         assert!(calls.windows(2).all(|w| w[0] == w[1]));
         // Native has no overhead; CPT costs more than no-CPT.
         assert_eq!(runs[0].overhead, 0);
-        let nocpt = runs.iter().find(|r| r.encoder == "deltapath-nocpt").unwrap();
+        let nocpt = runs
+            .iter()
+            .find(|r| r.encoder == "deltapath-nocpt")
+            .unwrap();
         let cpt = runs.iter().find(|r| r.encoder == "deltapath-cpt").unwrap();
         assert!(cpt.overhead > nocpt.overhead);
         assert!(cpt.normalized_speed() < 1.0);

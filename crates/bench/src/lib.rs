@@ -10,6 +10,8 @@
 //!   without and with call-path tracking (paper Figure 8);
 //! * `ablation_anchors` (binary) — anchors and max ID vs encoding width
 //!   (our ablation A1);
+//! * `perf_records` (binary) — the Figure 8 measurements as machine-readable
+//!   `BENCH_*.json` files (see [`perf`]);
 //! * criterion benches `encoders`, `analysis`, `decode` — real wall-clock
 //!   per-operation costs used to calibrate the abstract cost model.
 //!
@@ -20,4 +22,5 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;
 pub mod table;

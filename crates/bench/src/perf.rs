@@ -1,0 +1,272 @@
+//! Machine-readable performance records (`BENCH_*.json`).
+//!
+//! The table/figure binaries print human-readable tables; this module gives
+//! the same measurements a stable JSON shape so external tooling (plotting
+//! scripts, regression dashboards) can consume them without scraping stdout.
+//! A file holds one [`PerfSuite`] — a schema tag plus one [`PerfRecord`] per
+//! (benchmark, encoder) pair — and is written as `BENCH_<name>.json`.
+//!
+//! Field names are a stable interface (see `DESIGN.md`, "Observability");
+//! add fields rather than renaming them.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use deltapath_telemetry::{Json, JsonError};
+
+use crate::harness::EncoderRun;
+
+/// Schema tag stamped into every perf file.
+pub const PERF_SCHEMA: &str = "deltapath.perf.v1";
+
+/// One measured (benchmark, encoder) data point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfRecord {
+    /// Benchmark name (e.g. `"compress"`).
+    pub benchmark: String,
+    /// Technique name (e.g. `"deltapath-cpt"`).
+    pub encoder: String,
+    /// Dynamic calls executed.
+    pub calls: u64,
+    /// Native work units of the run (the overhead denominator).
+    pub base_cost: u64,
+    /// Weighted instrumentation overhead in the same units.
+    pub overhead: u64,
+    /// `base / (base + overhead)` — the paper's Figure 8 y-axis.
+    pub normalized_speed: f64,
+    /// Distinct calling contexts captured.
+    pub unique_contexts: u64,
+    /// Deepest true context observed.
+    pub max_depth: u64,
+}
+
+impl PerfRecord {
+    /// Builds a record from one harness measurement.
+    pub fn from_encoder_run(benchmark: &str, run: &EncoderRun) -> Self {
+        Self {
+            benchmark: benchmark.to_owned(),
+            encoder: run.encoder.to_owned(),
+            calls: run.run.calls,
+            base_cost: run.run.base_cost,
+            overhead: run.overhead,
+            normalized_speed: run.normalized_speed(),
+            unique_contexts: run.stats.unique_contexts() as u64,
+            max_depth: run.stats.max_depth as u64,
+        }
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("encoder".into(), Json::Str(self.encoder.clone())),
+            ("calls".into(), Json::from_u64(self.calls)),
+            ("base_cost".into(), Json::from_u64(self.base_cost)),
+            ("overhead".into(), Json::from_u64(self.overhead)),
+            (
+                "normalized_speed".into(),
+                Json::Float(self.normalized_speed),
+            ),
+            (
+                "unique_contexts".into(),
+                Json::from_u64(self.unique_contexts),
+            ),
+            ("max_depth".into(), Json::from_u64(self.max_depth)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, PerfError> {
+        let str_field = |name: &str| -> Result<String, PerfError> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| PerfError::field(name))
+        };
+        let u64_field = |name: &str| -> Result<u64, PerfError> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| PerfError::field(name))
+        };
+        let speed = match v.get("normalized_speed") {
+            Some(Json::Float(f)) => *f,
+            Some(Json::Int(i)) => *i as f64,
+            _ => return Err(PerfError::field("normalized_speed")),
+        };
+        Ok(Self {
+            benchmark: str_field("benchmark")?,
+            encoder: str_field("encoder")?,
+            calls: u64_field("calls")?,
+            base_cost: u64_field("base_cost")?,
+            overhead: u64_field("overhead")?,
+            normalized_speed: speed,
+            unique_contexts: u64_field("unique_contexts")?,
+            max_depth: u64_field("max_depth")?,
+        })
+    }
+}
+
+/// A named collection of perf records — the content of one `BENCH_*.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfSuite {
+    /// Suite name; the file is written as `BENCH_<name>.json`.
+    pub name: String,
+    /// The measurements.
+    pub records: Vec<PerfRecord>,
+}
+
+/// Why a perf file failed to parse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PerfError {
+    /// The text was not valid JSON.
+    Json(JsonError),
+    /// The JSON was valid but not a perf suite (wrong schema tag, missing
+    /// or mistyped field).
+    Schema(String),
+}
+
+impl PerfError {
+    fn field(name: &str) -> Self {
+        PerfError::Schema(format!("missing or mistyped field {name:?}"))
+    }
+}
+
+impl std::fmt::Display for PerfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfError::Json(e) => write!(f, "invalid JSON: {e}"),
+            PerfError::Schema(msg) => write!(f, "not a perf suite: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+impl PerfSuite {
+    /// An empty suite called `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one record per encoder measured on `benchmark`.
+    pub fn absorb(&mut self, benchmark: &str, runs: &[EncoderRun]) {
+        self.records.extend(
+            runs.iter()
+                .map(|r| PerfRecord::from_encoder_run(benchmark, r)),
+        );
+    }
+
+    /// The suite as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(PERF_SCHEMA.into())),
+            ("suite".into(), Json::Str(self.name.clone())),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(PerfRecord::to_json_value).collect()),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses a suite back from [`to_json`](Self::to_json) output.
+    pub fn from_json(text: &str) -> Result<Self, PerfError> {
+        let v = Json::parse(text).map_err(PerfError::Json)?;
+        match v.get("schema").and_then(Json::as_str) {
+            Some(PERF_SCHEMA) => {}
+            Some(other) => {
+                return Err(PerfError::Schema(format!(
+                    "schema {other:?}, expected {PERF_SCHEMA:?}"
+                )))
+            }
+            None => return Err(PerfError::field("schema")),
+        }
+        let name = v
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or_else(|| PerfError::field("suite"))?
+            .to_owned();
+        let records = v
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PerfError::field("records"))?
+            .iter()
+            .map(PerfRecord::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { name, records })
+    }
+
+    /// Writes the suite as `BENCH_<name>.json` under `dir` and returns the
+    /// path written.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_runtime::{ContextStats, RunStats};
+
+    fn sample_suite() -> PerfSuite {
+        let run = EncoderRun {
+            encoder: "deltapath-cpt",
+            run: RunStats {
+                calls: 1000,
+                base_cost: u64::MAX, // exercise exact u64 round-tripping
+                dynamic_loads: 2,
+                max_call_depth: 17,
+                observes: 40,
+                entries_collected: 999,
+            },
+            overhead: 12345,
+            stats: ContextStats::new(),
+        };
+        let mut suite = PerfSuite::new("unit");
+        suite.absorb("synth", &[run]);
+        suite
+    }
+
+    #[test]
+    fn suite_roundtrips_through_json() {
+        let suite = sample_suite();
+        let text = suite.to_json();
+        let parsed = PerfSuite::from_json(&text).expect("parses");
+        assert_eq!(parsed, suite);
+        assert_eq!(parsed.records[0].base_cost, u64::MAX);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = sample_suite().to_json().replace(PERF_SCHEMA, "other.v9");
+        assert!(matches!(
+            PerfSuite::from_json(&text),
+            Err(PerfError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let text = sample_suite().to_json().replace("\"calls\"", "\"callz\"");
+        assert!(matches!(
+            PerfSuite::from_json(&text),
+            Err(PerfError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn writes_bench_file() {
+        let dir = std::env::temp_dir().join("deltapath-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_suite().write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(PerfSuite::from_json(&text).unwrap(), sample_suite());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -94,8 +94,9 @@ impl CallGraph {
             Analysis::Rta => Some(rta_instantiated(program, &hierarchy, config)),
             _ => None,
         };
-        let targets_of =
-            |site: SiteId| dispatch_targets(program, &hierarchy, config, instantiated.as_ref(), site);
+        let targets_of = |site: SiteId| {
+            dispatch_targets(program, &hierarchy, config, instantiated.as_ref(), site)
+        };
 
         // Pass 1: full reachability over visible methods.
         let sites_by_caller = sites_by_caller(program);
@@ -125,7 +126,8 @@ impl CallGraph {
         };
 
         let mut graph = CallGraph::empty();
-        let mut ordered: Vec<MethodId> = reachable.iter().copied().filter(|&m| in_scope(m)).collect();
+        let mut ordered: Vec<MethodId> =
+            reachable.iter().copied().filter(|&m| in_scope(m)).collect();
         ordered.sort_unstable();
         // Entry node first, for stable readable node numbering.
         if in_scope(entry) && reachable.contains(&entry) {
@@ -209,9 +211,7 @@ fn rta_instantiated(
                 // instantiated.
                 if let Some(r) = s.receiver() {
                     for &c in r.possible_classes() {
-                        if !config.include_dynamic
-                            && program.class(c).origin() == Origin::Dynamic
-                        {
+                        if !config.include_dynamic && program.class(c).origin() == Origin::Dynamic {
                             continue;
                         }
                         grew |= instantiated.insert(c);
@@ -257,9 +257,7 @@ pub(crate) fn dispatch_targets(
                     if !inst.contains(&sub) {
                         continue;
                     }
-                    if !config.include_dynamic
-                        && program.class(sub).origin() == Origin::Dynamic
-                    {
+                    if !config.include_dynamic && program.class(sub).origin() == Origin::Dynamic {
                         continue;
                     }
                     if let Some(m) = program.resolve(sub, s.method()) {
@@ -277,9 +275,7 @@ pub(crate) fn dispatch_targets(
                     .expect("validated virtual site has receiver")
                     .possible_classes()
                 {
-                    if !config.include_dynamic
-                        && program.class(class).origin() == Origin::Dynamic
-                    {
+                    if !config.include_dynamic && program.class(class).origin() == Origin::Dynamic {
                         continue;
                     }
                     if let Some(m) = program.resolve(class, s.method()) {
@@ -417,10 +413,15 @@ mod tests {
     fn rta_excludes_never_instantiated_dynamic_classes() {
         let p = layered_program();
         // The dynamic Plug class never counts as instantiated statically.
-        let g = CallGraph::build(&p, &GraphConfig { analysis: Analysis::Rta, scope: ScopeFilter::All, include_dynamic: false });
-        assert!(g
-            .nodes()
-            .all(|n| p.is_static_origin(g.method_of(n))));
+        let g = CallGraph::build(
+            &p,
+            &GraphConfig {
+                analysis: Analysis::Rta,
+                scope: ScopeFilter::All,
+                include_dynamic: false,
+            },
+        );
+        assert!(g.nodes().all(|n| p.is_static_origin(g.method_of(n))));
     }
 
     #[test]

@@ -209,10 +209,7 @@ impl CallGraph {
 
     /// The edges a call site can dispatch along (its dispatch targets).
     pub fn site_edges(&self, site: SiteId) -> &[EdgeIx] {
-        self.site_edges
-            .get(&site)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.site_edges.get(&site).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All call sites with at least one edge in the graph — the sites that

@@ -70,7 +70,9 @@ mod tests {
     fn diamond() -> (CallGraph, Vec<NodeIx>) {
         // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4
         let mut g = CallGraph::empty();
-        let n: Vec<NodeIx> = (0..5).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let n: Vec<NodeIx> = (0..5)
+            .map(|i| g.add_node(MethodId::from_index(i)))
+            .collect();
         g.set_entry(n[0]);
         g.add_edge(n[0], n[1], SiteId::from_index(0));
         g.add_edge(n[0], n[2], SiteId::from_index(1));

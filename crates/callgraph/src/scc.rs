@@ -147,8 +147,7 @@ impl StronglyConnectedComponents {
                     }
                     call.pop();
                     if let Some(&mut (parent, _)) = call.last_mut() {
-                        lowlink[parent.index()] =
-                            lowlink[parent.index()].min(lowlink[v.index()]);
+                        lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
                     }
                 }
             }
@@ -184,7 +183,9 @@ mod tests {
     fn chain_with_cycle() -> CallGraph {
         // 0 -> 1 -> 2 -> 1 (cycle), 2 -> 3
         let mut g = CallGraph::empty();
-        let n: Vec<NodeIx> = (0..4).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let n: Vec<NodeIx> = (0..4)
+            .map(|i| g.add_node(MethodId::from_index(i)))
+            .collect();
         g.set_entry(n[0]);
         g.add_edge(n[0], n[1], SiteId::from_index(0));
         g.add_edge(n[1], n[2], SiteId::from_index(1));

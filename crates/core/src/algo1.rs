@@ -44,8 +44,7 @@ impl Algo1Encoding {
         if graph.node_count() == 0 || graph.roots().is_empty() {
             return Err(EncodeError::NoRoots);
         }
-        let order =
-            topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
+        let order = topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
         let n = graph.node_count();
         let mut cav = vec![0u128; n];
         let mut icc = vec![0u128; n];
@@ -127,7 +126,9 @@ mod tests {
     /// creation order: AB, AC, BD, CD, DE, d2, c1, EG, FG).
     pub(crate) fn figure4() -> (CallGraph, Vec<NodeIx>, Vec<SiteId>) {
         let mut g = CallGraph::empty();
-        let nodes: Vec<NodeIx> = (0..7).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let nodes: Vec<NodeIx> = (0..7)
+            .map(|i| g.add_node(MethodId::from_index(i)))
+            .collect();
         let (a, b, c, d, e, f_, gg) = (
             nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6],
         );
@@ -170,7 +171,7 @@ mod tests {
         // First incoming edges get 0.
         assert_eq!(enc.site_av[&sites[0]], 0); // AB
         assert_eq!(enc.site_av[&sites[4]], 0); // DE
-        // CD is D's second incoming edge: CAV[D] was 1.
+                                               // CD is D's second incoming edge: CAV[D] was 1.
         assert_eq!(enc.site_av[&sites[3]], 1);
     }
 
@@ -187,13 +188,7 @@ mod tests {
             seen.entry(node).or_default().push(sum);
             for &e in g.out_edges(node) {
                 let edge = g.edge(e);
-                walk(
-                    g,
-                    enc,
-                    edge.callee,
-                    sum + enc.site_av[&edge.site],
-                    seen,
-                );
+                walk(g, enc, edge.callee, sum + enc.site_av[&edge.site], seen);
             }
         }
         let mut seen = std::collections::HashMap::new();
@@ -204,11 +199,7 @@ mod tests {
             let mut dedup = ids.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            assert_eq!(
-                dedup.len(),
-                ids.len(),
-                "duplicate encodings at node {node}"
-            );
+            assert_eq!(dedup.len(), ids.len(), "duplicate encodings at node {node}");
             assert!(
                 ids.iter().all(|&v| v < enc.icc[node.index()].max(1)),
                 "encoding out of range at node {node}"

@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use deltapath_callgraph::{topological_order, CallGraph, EdgeIx, NodeIx};
 use deltapath_ir::SiteId;
+use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
 
 use crate::error::EncodeError;
 use crate::width::EncodingWidth;
@@ -110,11 +111,36 @@ impl Encoding {
         excluded: &HashSet<EdgeIx>,
         config: &Algo2Config,
     ) -> Result<Self, EncodeError> {
+        Self::analyze_with(graph, excluded, config, &NullTelemetry)
+    }
+
+    /// As [`Encoding::analyze`], emitting timed spans into `sink`:
+    ///
+    /// * `algo2.territories` — one span per restart-loop iteration, with the
+    ///   iteration number and current anchor count;
+    /// * `algo2.restart` — a point event each time overflow promotes a new
+    ///   anchor (single mode carries the promoted node, batch mode the
+    ///   number of anchors added);
+    /// * `algo2.analyze` — the whole analysis, with node/edge/anchor/
+    ///   restart counts and the final `max_icc` (saturated to `u64`).
+    ///
+    /// Against a disabled sink this is exactly [`Encoding::analyze`]: no
+    /// clocks are read and no counts are computed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Encoding::analyze`].
+    pub fn analyze_with(
+        graph: &CallGraph,
+        excluded: &HashSet<EdgeIx>,
+        config: &Algo2Config,
+        sink: &dyn Telemetry,
+    ) -> Result<Self, EncodeError> {
+        let total = SpanTimer::start(sink);
         if graph.node_count() == 0 || graph.roots().is_empty() {
             return Err(EncodeError::NoRoots);
         }
-        let order =
-            topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
+        let order = topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
         let n = graph.node_count();
         let cap = config.width.capacity();
 
@@ -133,7 +159,16 @@ impl Encoding {
         // at least one anchor, so it runs at most `n - base_anchor_count + 1`
         // times.
         'again: loop {
+            let territories_timer = SpanTimer::start(sink);
             let (nanchors, eanchors) = identify_territories(graph, excluded, &is_anchor);
+            if sink.enabled() {
+                let anchor_count = is_anchor.iter().filter(|&&b| b).count() as u64;
+                territories_timer.finish(
+                    sink,
+                    "algo2.territories",
+                    &[("iteration", restarts as u64), ("anchors", anchor_count)],
+                );
+            }
 
             let mut cav: Vec<HashMap<NodeIx, u128>> = (0..n)
                 .map(|i| nanchors[i].iter().map(|&r| (r, 0u128)).collect())
@@ -172,6 +207,13 @@ impl Encoding {
                             is_anchor[overflowing_caller.index()] = true;
                             overflow_anchors.push(overflowing_caller);
                             restarts += 1;
+                            sink.event(
+                                "algo2.restart",
+                                &[
+                                    ("restart", restarts as u64),
+                                    ("anchor", overflowing_caller.index() as u64),
+                                ],
+                            );
                             continue 'again;
                         }
                     }
@@ -186,20 +228,24 @@ impl Encoding {
                 }
             }
             if !batch_pending.is_empty() {
-                let mut added_any = false;
+                let mut added = 0u64;
                 for caller in batch_pending {
                     if !is_anchor[caller.index()] {
                         is_anchor[caller.index()] = true;
                         overflow_anchors.push(caller);
-                        added_any = true;
+                        added += 1;
                     }
                 }
-                if !added_any {
+                if added == 0 {
                     return Err(EncodeError::WidthTooSmall {
                         width: config.width,
                     });
                 }
                 restarts += 1;
+                sink.event(
+                    "algo2.restart",
+                    &[("restart", restarts as u64), ("added", added)],
+                );
                 continue 'again;
             }
 
@@ -214,6 +260,20 @@ impl Encoding {
                 .collect();
             anchors.sort_unstable();
             debug_assert_eq!(anchors.len(), base_anchor_count + overflow_anchors.len());
+            if sink.enabled() {
+                total.finish(
+                    sink,
+                    "algo2.analyze",
+                    &[
+                        ("nodes", n as u64),
+                        ("edges", graph.edge_count() as u64),
+                        ("anchors", anchors.len() as u64),
+                        ("overflow_anchors", overflow_anchors.len() as u64),
+                        ("restarts", restarts as u64),
+                        ("max_icc", u64::try_from(max_icc).unwrap_or(u64::MAX)),
+                    ],
+                );
+            }
             return Ok(Self {
                 width: config.width,
                 anchors,
@@ -379,7 +439,9 @@ mod tests {
     /// AB, AC, BD, CD, DE, d2(D'E+DF), c1(CF+CG), EG, FG).
     fn figure5() -> (CallGraph, Vec<NodeIx>, Vec<SiteId>) {
         let mut g = CallGraph::empty();
-        let nodes: Vec<NodeIx> = (0..7).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let nodes: Vec<NodeIx> = (0..7)
+            .map(|i| g.add_node(MethodId::from_index(i)))
+            .collect();
         let (a, b, c, d, e, f_, gg) = (
             nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6],
         );
@@ -401,8 +463,8 @@ mod tests {
 
     fn analyze_figure5() -> (CallGraph, Vec<NodeIx>, Vec<SiteId>, Encoding) {
         let (g, nodes, sites) = figure5();
-        let config = Algo2Config::new(EncodingWidth::U64)
-            .with_forced_anchors(vec![nodes[2], nodes[3]]); // C and D
+        let config =
+            Algo2Config::new(EncodingWidth::U64).with_forced_anchors(vec![nodes[2], nodes[3]]); // C and D
         let enc = Encoding::analyze(&g, &HashSet::new(), &config).unwrap();
         (g, nodes, sites, enc)
     }
@@ -618,12 +680,8 @@ mod tests {
     fn empty_graph_is_rejected() {
         let g = CallGraph::empty();
         assert_eq!(
-            Encoding::analyze(
-                &g,
-                &HashSet::new(),
-                &Algo2Config::new(EncodingWidth::U64)
-            )
-            .unwrap_err(),
+            Encoding::analyze(&g, &HashSet::new(), &Algo2Config::new(EncodingWidth::U64))
+                .unwrap_err(),
             EncodeError::NoRoots
         );
     }

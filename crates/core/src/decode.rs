@@ -110,13 +110,10 @@ impl<'a> Decoder<'a> {
                     if is_bottom {
                         return Err(DecodeError::BadBottomFrame);
                     }
-                    let site = frame.site.ok_or(DecodeError::UnattributedUcp {
-                        node: frame.node,
-                    })?;
-                    let instr = self
-                        .plan
-                        .site(site)
-                        .ok_or(DecodeError::UnknownSite(site))?;
+                    let site = frame
+                        .site
+                        .ok_or(DecodeError::UnattributedUcp { node: frame.node })?;
+                    let instr = self.plan.site(site).ok_or(DecodeError::UnknownSite(site))?;
                     splice_front(&mut result, &piece);
                     cur_end = self.node_of(instr.caller)?;
                     cur_id = u128::from(frame.saved_id)
@@ -223,9 +220,7 @@ impl<'a> Decoder<'a> {
             let mut cache = self.reach_cache.borrow_mut();
             cache
                 .entry(start)
-                .or_insert_with(|| {
-                    std::rc::Rc::new(reachable_from(graph, &[start], &enc.excluded))
-                })
+                .or_insert_with(|| std::rc::Rc::new(reachable_from(graph, &[start], &enc.excluded)))
                 .clone()
         };
         let limit = self.options.search_state_limit;
@@ -267,7 +262,16 @@ impl<'a> Decoder<'a> {
                     continue;
                 }
                 total = total
-                    .saturating_add(count(graph, enc, reach, start, edge.caller, v - av, memo, limit)?)
+                    .saturating_add(count(
+                        graph,
+                        enc,
+                        reach,
+                        start,
+                        edge.caller,
+                        v - av,
+                        memo,
+                        limit,
+                    )?)
                     .min(2);
                 if total >= 2 {
                     break;
@@ -636,8 +640,7 @@ mod search_tests {
                 p.sites()
                     .iter()
                     .find(|s| {
-                        s.caller() == method(&p, "x")
-                            && p.symbols().resolve(s.method()) == "a"
+                        s.caller() == method(&p, "x") && p.symbols().resolve(s.method()) == "a"
                     })
                     .unwrap()
                     .id(),
@@ -663,9 +666,6 @@ mod search_tests {
             at: method(&p, "a"),
         };
         let decoded = plan.decoder().decode(&ctx).unwrap();
-        assert_eq!(
-            decoded,
-            vec![p.entry(), method(&p, "x"), method(&p, "a")]
-        );
+        assert_eq!(decoded, vec![p.entry(), method(&p, "x"), method(&p, "a")]);
     }
 }

@@ -131,7 +131,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "frame for site {site} has inconsistent saved id")
             }
             DecodeError::UnattributedUcp { node } => {
-                write!(f, "unexpected-call-path frame at {node} carries no call site")
+                write!(
+                    f,
+                    "unexpected-call-path frame at {node} carries no call site"
+                )
             }
             DecodeError::BadBottomFrame => {
                 write!(f, "bottom stack frame is not an anchor bootstrap frame")

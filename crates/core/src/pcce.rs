@@ -44,8 +44,7 @@ impl PcceEncoding {
         if graph.node_count() == 0 || graph.roots().is_empty() {
             return Err(EncodeError::NoRoots);
         }
-        let order =
-            topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
+        let order = topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
         let n = graph.node_count();
         let mut nc = vec![0u128; n];
         let mut av = vec![0u128; graph.edge_count()];
@@ -148,7 +147,9 @@ pub(crate) mod tests {
     /// AB, AC, BD, CD, DE (site d1), D'E (site d2), DF, CF, EG, FG, CG.
     pub(crate) fn figure1() -> (CallGraph, Vec<NodeIx>, Vec<EdgeIx>) {
         let mut g = CallGraph::empty();
-        let nodes: Vec<NodeIx> = (0..7).map(|i| g.add_node(MethodId::from_index(i))).collect();
+        let nodes: Vec<NodeIx> = (0..7)
+            .map(|i| g.add_node(MethodId::from_index(i)))
+            .collect();
         let (a, b, c, d, e, f_, gg) = (
             nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6],
         );
@@ -156,17 +157,17 @@ pub(crate) mod tests {
         let mut s = 0..;
         let mut site = || SiteId::from_index(s.next().unwrap());
         let edges = vec![
-            g.add_edge(a, b, site()),  // AB
-            g.add_edge(a, c, site()),  // AC
-            g.add_edge(b, d, site()),  // BD
-            g.add_edge(c, d, site()),  // CD
-            g.add_edge(d, e, site()),  // DE
-            g.add_edge(d, e, site()),  // D'E
-            g.add_edge(d, f_, site()), // DF
-            g.add_edge(c, f_, site()), // CF
-            g.add_edge(e, gg, site()), // EG
+            g.add_edge(a, b, site()),   // AB
+            g.add_edge(a, c, site()),   // AC
+            g.add_edge(b, d, site()),   // BD
+            g.add_edge(c, d, site()),   // CD
+            g.add_edge(d, e, site()),   // DE
+            g.add_edge(d, e, site()),   // D'E
+            g.add_edge(d, f_, site()),  // DF
+            g.add_edge(c, f_, site()),  // CF
+            g.add_edge(e, gg, site()),  // EG
             g.add_edge(f_, gg, site()), // FG
-            g.add_edge(c, gg, site()), // CG
+            g.add_edge(c, gg, site()),  // CG
         ];
         (g, nodes, edges)
     }

@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use deltapath_callgraph::{back_edges, Analysis, CallGraph, GraphConfig, ScopeFilter};
 use deltapath_ir::{MethodId, Program, SiteId};
+use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
 
 use crate::algo2::{Algo2Config, Encoding};
 use crate::decode::{DecodeOptions, Decoder};
@@ -166,6 +167,22 @@ impl EncodingPlan {
     /// * [`EncodeError::NoRoots`] — nothing is reachable under the scope;
     /// * [`EncodeError::WidthTooSmall`] — see [`Encoding::analyze`].
     pub fn analyze(program: &Program, config: &PlanConfig) -> Result<Self, EncodeError> {
+        Self::analyze_with(program, config, &NullTelemetry)
+    }
+
+    /// As [`EncodingPlan::analyze`], emitting timed spans into `sink`:
+    /// `plan.graph_build` for call-graph construction, then everything
+    /// [`EncodingPlan::from_graph_with`] emits. Against a disabled sink
+    /// this is exactly [`EncodingPlan::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EncodingPlan::analyze`].
+    pub fn analyze_with(
+        program: &Program,
+        config: &PlanConfig,
+        sink: &dyn Telemetry,
+    ) -> Result<Self, EncodeError> {
         if !config.width.is_executable() {
             return Err(EncodeError::NotExecutable {
                 width: config.width,
@@ -176,8 +193,19 @@ impl EncodingPlan {
             scope: config.scope,
             include_dynamic: false,
         };
+        let graph_timer = SpanTimer::start(sink);
         let graph = CallGraph::build(program, &graph_config);
-        Self::from_graph(program, graph, config)
+        if sink.enabled() {
+            graph_timer.finish(
+                sink,
+                "plan.graph_build",
+                &[
+                    ("nodes", graph.node_count() as u64),
+                    ("edges", graph.edge_count() as u64),
+                ],
+            );
+        }
+        Self::from_graph_with(program, graph, config, sink)
     }
 
     /// Builds a plan over an already-constructed (possibly transformed, e.g.
@@ -191,6 +219,24 @@ impl EncodingPlan {
         graph: CallGraph,
         config: &PlanConfig,
     ) -> Result<Self, EncodeError> {
+        Self::from_graph_with(program, graph, config, &NullTelemetry)
+    }
+
+    /// As [`EncodingPlan::from_graph`], emitting timed spans into `sink`:
+    /// `plan.sids` for SID computation, the `algo2.*` spans of
+    /// [`Encoding::analyze_with`], and a `plan.analyze` span covering the
+    /// whole plan construction with method/site/anchor counts.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EncodingPlan::analyze`].
+    pub fn from_graph_with(
+        program: &Program,
+        graph: CallGraph,
+        config: &PlanConfig,
+        sink: &dyn Telemetry,
+    ) -> Result<Self, EncodeError> {
+        let total = SpanTimer::start(sink);
         if !config.width.is_executable() {
             return Err(EncodeError::NotExecutable {
                 width: config.width,
@@ -203,8 +249,12 @@ impl EncodingPlan {
             forced.extend_from_slice(graph.ucp_entry_candidates());
         }
         let algo2_config = Algo2Config::new(config.width).with_forced_anchors(forced);
-        let encoding = Encoding::analyze(&graph, &excluded, &algo2_config)?;
+        let encoding = Encoding::analyze_with(&graph, &excluded, &algo2_config, sink)?;
+        let sid_timer = SpanTimer::start(sink);
         let sids = SidTable::compute(&graph);
+        if sink.enabled() {
+            sid_timer.finish(sink, "plan.sids", &[("nodes", graph.node_count() as u64)]);
+        }
 
         let mut back_edge_calls = HashSet::new();
         for &e in &info.back_edges {
@@ -271,7 +321,7 @@ impl EncodingPlan {
             );
         }
 
-        let entries = graph
+        let entries: HashMap<MethodId, EntryInstr> = graph
             .nodes()
             .map(|node| {
                 (
@@ -285,6 +335,18 @@ impl EncodingPlan {
             })
             .collect();
 
+        if sink.enabled() {
+            total.finish(
+                sink,
+                "plan.analyze",
+                &[
+                    ("methods", entries.len() as u64),
+                    ("sites", sites.len() as u64),
+                    ("anchors", encoding.anchors.len() as u64),
+                    ("back_edges", info.back_edges.len() as u64),
+                ],
+            );
+        }
         Ok(Self {
             config: config.clone(),
             entry_method: program.entry(),
@@ -407,8 +469,8 @@ mod tests {
         let p = build_program();
         let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
         assert_eq!(plan.instrumented_method_count(), 4); // main, A.f, C1.f, rec
-        // The rec self-call site is back-edge-only: no ID arithmetic, so
-        // only the vcall and main->rec sites are counted.
+                                                         // The rec self-call site is back-edge-only: no ID arithmetic, so
+                                                         // only the vcall and main->rec sites are counted.
         assert_eq!(plan.instrumented_site_count(), 2);
         // rec is a recursion header, so it is an anchor.
         let rec = p
@@ -419,12 +481,7 @@ mod tests {
             .unwrap();
         assert!(plan.entry(rec).unwrap().is_anchor);
         // The self-call is a back-edge call.
-        let rec_site = p
-            .sites()
-            .iter()
-            .find(|s| s.caller() == rec)
-            .unwrap()
-            .id();
+        let rec_site = p.sites().iter().find(|s| s.caller() == rec).unwrap().id();
         assert!(plan.is_back_edge_call(rec_site, rec));
     }
 
@@ -438,10 +495,7 @@ mod tests {
         let c1f = p
             .declared_method(p.class_by_name("C1").unwrap(), f_sym)
             .unwrap();
-        assert_eq!(
-            plan.entry(af).unwrap().sid,
-            plan.entry(c1f).unwrap().sid
-        );
+        assert_eq!(plan.entry(af).unwrap().sid, plan.entry(c1f).unwrap().sid);
         let vsite = p
             .sites()
             .iter()
@@ -491,11 +545,7 @@ mod tests {
         assert_eq!(instr.av, 0);
         assert_eq!(instr.expected_sid, Sid::UNKNOWN);
         // Lib.mid's call site emits nothing at all.
-        let lib_mid_site = p
-            .sites()
-            .iter()
-            .find(|s| s.caller() != main)
-            .unwrap();
+        let lib_mid_site = p.sites().iter().find(|s| s.caller() != main).unwrap();
         assert!(plan.site(lib_mid_site.id()).is_none());
         // App.leaf is a root (only called from excluded code) → anchor.
         let leaf = p

@@ -25,10 +25,7 @@ use deltapath_ir::MethodId;
 ///
 /// Methods in `targets` that are not in `graph` are ignored.
 pub fn prune_to_targets(graph: &CallGraph, targets: &[MethodId]) -> CallGraph {
-    let target_nodes: Vec<_> = targets
-        .iter()
-        .filter_map(|&m| graph.node_of(m))
-        .collect();
+    let target_nodes: Vec<_> = targets.iter().filter_map(|&m| graph.node_of(m)).collect();
     let keep = reaches_to(graph, &target_nodes, &HashSet::new());
 
     let mut pruned = CallGraph::empty();

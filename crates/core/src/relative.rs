@@ -121,7 +121,11 @@ impl RelativeLog {
     /// representation shortens the log.
     pub fn compression_ratio(&self) -> f64 {
         if self.frames_stored() == 0 {
-            return if self.raw_frames == 0 { 1.0 } else { f64::INFINITY };
+            return if self.raw_frames == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.raw_frames as f64 / self.frames_stored() as f64
     }

@@ -183,9 +183,7 @@ impl DeltaState {
             "encoding ID underflow outside a corrupted-path scenario"
         );
         self.id = self.id.wrapping_sub(token.added);
-        if plan.config().cpt
-            && plan.site(token.site).map(|i| i.tracked).unwrap_or(false)
-        {
+        if plan.config().cpt && plan.site(token.site).map(|i| i.tracked).unwrap_or(false) {
             self.pending = token.saved_pending;
         }
     }

@@ -1,5 +1,10 @@
 //! Property tests of the encoding algorithms over randomly generated call
 //! graphs (graph-level, independent of the IR and interpreter).
+//!
+//! Gated behind the non-default `proptest` feature: the offline build
+//! environment cannot fetch the `proptest` crate (see Cargo.toml).
+
+#![cfg(feature = "proptest")]
 
 use std::collections::{HashMap, HashSet};
 
@@ -20,22 +25,21 @@ struct GraphSpec {
 }
 
 fn graph_spec() -> impl Strategy<Value = GraphSpec> {
-    (2usize..6)
-        .prop_flat_map(|depth| {
-            let layers = proptest::collection::vec(1usize..5, depth);
-            layers.prop_flat_map(|layers| {
-                let calls = proptest::collection::vec(
-                    (
-                        0usize..layers.len() - 1,
-                        0usize..16,
-                        0usize..16,
-                        proptest::bool::ANY,
-                    ),
-                    1..24,
-                );
-                (Just(layers), calls).prop_map(|(layers, calls)| GraphSpec { layers, calls })
-            })
+    (2usize..6).prop_flat_map(|depth| {
+        let layers = proptest::collection::vec(1usize..5, depth);
+        layers.prop_flat_map(|layers| {
+            let calls = proptest::collection::vec(
+                (
+                    0usize..layers.len() - 1,
+                    0usize..16,
+                    0usize..16,
+                    proptest::bool::ANY,
+                ),
+                1..24,
+            );
+            (Just(layers), calls).prop_map(|(layers, calls)| GraphSpec { layers, calls })
         })
+    })
 }
 
 /// Materializes a spec into a call graph (edges go layer k -> k+1, so the

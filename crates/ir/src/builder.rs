@@ -210,7 +210,9 @@ impl ProgramBuilder {
 
 /// Precomputes `(class, name) -> method` resolution for every pair that can
 /// occur at runtime: all (subtype, site-method-name) combinations.
-fn build_resolution_cache(program: &Program) -> HashMap<(ClassId, crate::Symbol), Option<MethodId>> {
+fn build_resolution_cache(
+    program: &Program,
+) -> HashMap<(ClassId, crate::Symbol), Option<MethodId>> {
     let mut cache = HashMap::new();
     for site in &program.sites {
         let classes: Vec<ClassId> = match &site.receiver {

@@ -160,7 +160,12 @@ mod tests {
     fn cha_skips_dynamic_classes_when_asked() {
         let mut b = ProgramBuilder::new("dyn");
         let a = b.add_class("A", None);
-        let x = b.add_class_full("X", Some(a), crate::Origin::Dynamic, crate::Scope::Application);
+        let x = b.add_class_full(
+            "X",
+            Some(a),
+            crate::Origin::Dynamic,
+            crate::Scope::Application,
+        );
         b.method(a, "f", MethodKind::Virtual).finish();
         b.method(x, "f", MethodKind::Virtual).finish();
         let main = b

@@ -232,7 +232,10 @@ impl<'a> Parser<'a> {
                 break;
             }
             let Some((class_name, _, _, _)) = parse_class_header(content) else {
-                return self.err(number, format!("expected class declaration, got {content:?}"));
+                return self.err(
+                    number,
+                    format!("expected class declaration, got {content:?}"),
+                );
             };
             let class_name = class_name.to_owned();
             let class = self.class_id(&b, number, &class_name)?;
@@ -251,12 +254,7 @@ impl<'a> Parser<'a> {
         b.finish().map_err(ParseError::from)
     }
 
-    fn class_id(
-        &self,
-        b: &ProgramBuilder,
-        line: usize,
-        name: &str,
-    ) -> Result<ClassId, ParseError> {
+    fn class_id(&self, b: &ProgramBuilder, line: usize, name: &str) -> Result<ClassId, ParseError> {
         b.class_id(name).ok_or(ParseError {
             line,
             message: format!("unknown class {name:?} (classes must be declared parents-first)"),
@@ -292,7 +290,10 @@ impl<'a> Parser<'a> {
                 MethodKind::Virtual
             };
             let Some(r) = rest.strip_prefix("fn ") else {
-                return self.err(number, format!("expected method declaration, got {content:?}"));
+                return self.err(
+                    number,
+                    format!("expected method declaration, got {content:?}"),
+                );
             };
             let Some(r) = r.trim_end().strip_suffix('{') else {
                 return self.err(number, "method header must end with `{`");
@@ -306,12 +307,10 @@ impl<'a> Parser<'a> {
                 return self.err(number, "method name must be followed by `()`");
             };
             let work: u32 = match work_part {
-                Some(w) => w
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: number,
-                        message: format!("bad work value {w:?}"),
-                    })?,
+                Some(w) => w.parse().map_err(|_| ParseError {
+                    line: number,
+                    message: format!("bad work value {w:?}"),
+                })?,
                 None => 0,
             };
             if entry_marked {
@@ -501,7 +500,10 @@ impl<'a> Parser<'a> {
                 .map(|s| self.class_id(b, number, s.trim()))
                 .collect()
         };
-        if let Some(r) = text.strip_prefix("cycle[").and_then(|r| r.strip_suffix(']')) {
+        if let Some(r) = text
+            .strip_prefix("cycle[")
+            .and_then(|r| r.strip_suffix(']'))
+        {
             return Ok(Receiver::Cycle(classes(r)?));
         }
         if let Some(r) = text

@@ -4,6 +4,7 @@ use std::collections::HashSet;
 
 use deltapath_core::RelativeLog;
 use deltapath_ir::MethodId;
+use deltapath_telemetry::Telemetry;
 
 use crate::encoder::Capture;
 
@@ -16,6 +17,13 @@ pub trait Collector {
 
     /// Called at every `Observe` statement.
     fn record_observe(&mut self, event: u32, method: MethodId, capture: Capture);
+
+    /// Reports this collector's metrics into `sink`. The VM calls this
+    /// once at the end of a run when telemetry is enabled; the default
+    /// reports nothing.
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        let _ = sink;
+    }
 }
 
 /// A collector that drops everything (for pure overhead measurements).
@@ -29,17 +37,52 @@ impl Collector for NullCollector {
 
 /// A collector that stores observed events verbatim (for the logging /
 /// decoding examples and tests).
+///
+/// By default the log grows without bound. [`EventLog::bounded`] caps it:
+/// once `capacity` events are stored, further observations are counted in
+/// [`dropped`](EventLog::dropped) instead of stored (the *earliest* events
+/// are the ones kept — a decode log wants the run's head, unlike the
+/// flight-recorder tail kept by `deltapath_telemetry::EventTrace`).
 #[derive(Clone, Debug, Default)]
 pub struct EventLog {
     /// `(event label, method, capture)` triples in observation order.
     pub events: Vec<(u32, MethodId, Capture)>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// An event log that stores at most `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Number of observations discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 impl Collector for EventLog {
     fn record_entry(&mut self, _method: MethodId, _true_depth: usize, _capture: Capture) {}
 
     fn record_observe(&mut self, event: u32, method: MethodId, capture: Capture) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() >= cap {
+                self.dropped += 1;
+                return;
+            }
+        }
         self.events.push((event, method, capture));
+    }
+
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        sink.counter_add("collector.event_log.recorded", self.events.len() as u64);
+        sink.counter_add("collector.event_log.dropped", self.dropped);
     }
 }
 
@@ -67,6 +110,19 @@ impl Collector for RelativeCollector {
         if let Capture::Delta(ctx) = capture {
             self.log.push(&ctx);
         }
+    }
+
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        sink.counter_add("collector.relative.contexts", self.log.len() as u64);
+        sink.counter_add(
+            "collector.relative.frames_stored",
+            self.log.frames_stored() as u64,
+        );
+        sink.counter_add(
+            "collector.relative.frames_raw",
+            self.log.frames_raw() as u64,
+        );
+        sink.counter_add("collector.relative.skipped", self.skipped);
     }
 }
 
@@ -156,6 +212,18 @@ impl Collector for ContextStats {
         // Observation points contribute to uniqueness too, with unknown
         // depth attribution left to entry records.
         self.unique.insert(capture);
+    }
+
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        sink.counter_add("collector.stats.contexts", self.total_contexts);
+        sink.counter_add("collector.stats.unique", self.unique_contexts() as u64);
+        sink.gauge_max("collector.stats.max_depth", self.max_depth as u64);
+        sink.gauge_max(
+            "collector.stats.max_stack_depth",
+            self.max_stack_depth as u64,
+        );
+        sink.gauge_max("collector.stats.max_ucp", self.max_ucp as u64);
+        sink.gauge_max("collector.stats.max_id", self.max_id);
     }
 }
 

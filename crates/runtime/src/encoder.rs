@@ -9,6 +9,7 @@
 
 use deltapath_core::EncodedContext;
 use deltapath_ir::{MethodId, SiteId};
+use deltapath_telemetry::Telemetry;
 
 /// A captured calling-context value, as produced by some encoder at an
 /// observation point.
@@ -65,17 +66,45 @@ pub struct OpCounts {
 }
 
 impl OpCounts {
-    /// Weighted total cost under `model`.
+    /// Weighted total cost under `model`, saturating at `u64::MAX`.
+    ///
+    /// Long sweeps accumulate counts near the integer ceiling (and tests
+    /// deliberately construct them); a wrapped total would silently report
+    /// a tiny overhead for the most expensive run.
     pub fn cost(&self, model: &CostModel) -> u64 {
-        self.adds * model.add
-            + self.subs * model.sub
-            + self.hashes * model.hash
-            + self.pending_saves * model.pending_save
-            + self.sid_checks * model.sid_check
-            + self.pushes * model.push
-            + self.pops * model.pop
-            + self.walked_frames * model.walk_frame
-            + self.cct_moves * model.cct_move
+        [
+            self.adds.saturating_mul(model.add),
+            self.subs.saturating_mul(model.sub),
+            self.hashes.saturating_mul(model.hash),
+            self.pending_saves.saturating_mul(model.pending_save),
+            self.sid_checks.saturating_mul(model.sid_check),
+            self.pushes.saturating_mul(model.push),
+            self.pops.saturating_mul(model.pop),
+            self.walked_frames.saturating_mul(model.walk_frame),
+            self.cct_moves.saturating_mul(model.cct_move),
+        ]
+        .into_iter()
+        .fold(0u64, u64::saturating_add)
+    }
+}
+
+/// Emits `counts` into `sink` as `ops.<technique>.<op>` counters — the
+/// default body of [`ContextEncoder::report_telemetry`]. All nine op
+/// counters are always emitted (zeros included) so a report's counter set
+/// is the same for every run of a technique.
+pub fn report_op_counts(sink: &dyn Telemetry, technique: &str, counts: &OpCounts) {
+    for (op, value) in [
+        ("adds", counts.adds),
+        ("subs", counts.subs),
+        ("hashes", counts.hashes),
+        ("pending_saves", counts.pending_saves),
+        ("sid_checks", counts.sid_checks),
+        ("pushes", counts.pushes),
+        ("pops", counts.pops),
+        ("walked_frames", counts.walked_frames),
+        ("cct_moves", counts.cct_moves),
+    ] {
+        sink.counter_add(&format!("ops.{technique}.{op}"), value);
     }
 }
 
@@ -165,6 +194,15 @@ pub trait ContextEncoder {
 
     /// A short technique name for reports (e.g. `"deltapath"`, `"pcc"`).
     fn name(&self) -> &'static str;
+
+    /// Reports this encoder's metrics into `sink`. The VM calls this once
+    /// at the end of a run when telemetry is enabled; it is never invoked
+    /// on the hot path. The default emits the abstract op counts as
+    /// `ops.<technique>.<op>` counters; encoders with richer internal
+    /// state (e.g. [`DeltaEncoder`](crate::DeltaEncoder)) extend it.
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        report_op_counts(sink, self.name(), &self.counts());
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +224,52 @@ mod tests {
             ..CostModel::default()
         };
         assert_eq!(counts.cost(&model), 10 * 2 + 10 + 5 * 3);
+    }
+
+    #[test]
+    fn cost_saturates_instead_of_wrapping() {
+        // Counts adjacent to u64::MAX must pin the total at the ceiling;
+        // the old plain `*`/`+` arithmetic wrapped to a near-zero figure
+        // in release builds (and panicked in debug).
+        let counts = OpCounts {
+            adds: u64::MAX - 1,
+            subs: u64::MAX,
+            walked_frames: u64::MAX / 2,
+            ..OpCounts::default()
+        };
+        assert_eq!(counts.cost(&CostModel::default()), u64::MAX);
+        // A single saturated term dominates even with everything else zero.
+        let single = OpCounts {
+            cct_moves: u64::MAX,
+            ..OpCounts::default()
+        };
+        assert_eq!(single.cost(&CostModel::default()), u64::MAX);
+        // Sane counts still produce the exact weighted sum.
+        let sane = OpCounts {
+            adds: 3,
+            pops: 2,
+            ..OpCounts::default()
+        };
+        let model = CostModel::default();
+        assert_eq!(sane.cost(&model), 3 * model.add + 2 * model.pop);
+    }
+
+    #[test]
+    fn op_counts_report_as_counters() {
+        use deltapath_telemetry::Recorder;
+        let sink = Recorder::new();
+        let counts = OpCounts {
+            adds: 7,
+            pushes: 2,
+            ..OpCounts::default()
+        };
+        report_op_counts(&sink, "demo", &counts);
+        let report = sink.report("t");
+        assert_eq!(report.counter("ops.demo.adds"), Some(7));
+        assert_eq!(report.counter("ops.demo.pushes"), Some(2));
+        // Zero-valued ops are present too: stable counter set per run.
+        assert_eq!(report.counter("ops.demo.cct_moves"), Some(0));
+        assert_eq!(report.counters.len(), 9);
     }
 
     #[test]

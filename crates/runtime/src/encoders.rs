@@ -5,8 +5,9 @@
 
 use deltapath_core::{DeltaState, EncodingPlan, EntryOutcome};
 use deltapath_ir::{MethodId, SiteId};
+use deltapath_telemetry::Telemetry;
 
-use crate::encoder::{Capture, ContextEncoder, OpCounts};
+use crate::encoder::{report_op_counts, Capture, ContextEncoder, OpCounts};
 
 /// The native baseline: no instrumentation at all.
 #[derive(Clone, Copy, Debug, Default)]
@@ -43,6 +44,8 @@ pub struct DeltaEncoder<'p> {
     plan: &'p EncodingPlan,
     state: DeltaState,
     counts: OpCounts,
+    stack_hwm: usize,
+    ucp_detections: u64,
 }
 
 impl<'p> DeltaEncoder<'p> {
@@ -53,6 +56,8 @@ impl<'p> DeltaEncoder<'p> {
             plan,
             state: DeltaState::start(plan.entry_method()),
             counts: OpCounts::default(),
+            stack_hwm: 0,
+            ucp_detections: 0,
         }
     }
 
@@ -65,6 +70,19 @@ impl<'p> DeltaEncoder<'p> {
     /// points).
     pub fn state(&self) -> &DeltaState {
         &self.state
+    }
+
+    /// The deepest the encoding stack has grown (a high-water mark over the
+    /// encoder's whole lifetime — like the op counts, it is not reset by
+    /// [`thread_start`](ContextEncoder::thread_start)).
+    pub fn stack_high_water(&self) -> usize {
+        self.stack_hwm
+    }
+
+    /// Number of hazardous unexpected call paths detected (failed SID
+    /// checks at method entries, each of which pushed a UCP frame).
+    pub fn ucp_detections(&self) -> u64 {
+        self.ucp_detections
     }
 }
 
@@ -101,7 +119,12 @@ impl ContextEncoder for DeltaEncoder<'_> {
         if self.plan.entry(method).is_none() {
             return EntryOutcome::Plain;
         }
-        if self.plan.config().cpt && self.plan.entry(method).map(|e| e.check_sid).unwrap_or(false)
+        if self.plan.config().cpt
+            && self
+                .plan
+                .entry(method)
+                .map(|e| e.check_sid)
+                .unwrap_or(false)
         {
             self.counts.sid_checks += 1;
         }
@@ -112,6 +135,10 @@ impl ContextEncoder for DeltaEncoder<'_> {
         let outcome = self.state.on_entry(self.plan, method, via);
         if outcome.pushed() {
             self.counts.pushes += 1;
+            self.stack_hwm = self.stack_hwm.max(self.state.depth());
+            if outcome == EntryOutcome::PushedUcp {
+                self.ucp_detections += 1;
+            }
         }
         outcome
     }
@@ -137,6 +164,22 @@ impl ContextEncoder for DeltaEncoder<'_> {
         } else {
             "deltapath-nocpt"
         }
+    }
+
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        let name = self.name();
+        report_op_counts(sink, name, &self.counts);
+        sink.gauge_max(&format!("encoder.{name}.stack_hwm"), self.stack_hwm as u64);
+        sink.counter_add(
+            &format!("encoder.{name}.ucp_detections"),
+            self.ucp_detections,
+        );
+        // A nonzero imbalance means the run ended mid-call-tree (error or
+        // abort): pushes without their matching pops.
+        sink.counter_add(
+            &format!("encoder.{name}.push_pop_imbalance"),
+            self.counts.pushes.saturating_sub(self.counts.pops),
+        );
     }
 }
 

@@ -69,6 +69,6 @@ mod encoders;
 mod vm;
 
 pub use collect::{Collector, ContextStats, EventLog, NullCollector, RelativeCollector};
-pub use encoder::{Capture, ContextEncoder, CostModel, OpCounts};
+pub use encoder::{report_op_counts, Capture, ContextEncoder, CostModel, OpCounts};
 pub use encoders::{DeltaEncoder, NullEncoder, StackWalkEncoder};
 pub use vm::{CollectMode, RunStats, Vm, VmConfig, VmError};

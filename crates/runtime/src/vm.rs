@@ -2,8 +2,10 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use deltapath_ir::{CallKind, MethodId, Origin, Program, Receiver, SiteId, Stmt};
+use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
 
 use crate::collect::Collector;
 use crate::encoder::ContextEncoder;
@@ -23,7 +25,7 @@ pub enum CollectMode {
 }
 
 /// Interpreter configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct VmConfig {
     /// Maximum dynamic call depth (guards runaway recursion).
     pub max_depth: usize,
@@ -36,6 +38,11 @@ pub struct VmConfig {
     pub call_cost: u64,
     /// The integer parameter passed to the entry method.
     pub entry_param: u32,
+    /// The telemetry sink runs report into. The default
+    /// [`NullTelemetry`] records nothing and keeps the run free of any
+    /// measurement work: the sink is consulted only in the [`Vm::run`]
+    /// epilogue, never per call.
+    pub telemetry: Arc<dyn Telemetry>,
 }
 
 impl Default for VmConfig {
@@ -46,7 +53,21 @@ impl Default for VmConfig {
             collect: CollectMode::ObservesOnly,
             call_cost: 5,
             entry_param: 0,
+            telemetry: Arc::new(NullTelemetry),
         }
+    }
+}
+
+impl fmt::Debug for VmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmConfig")
+            .field("max_depth", &self.max_depth)
+            .field("max_calls", &self.max_calls)
+            .field("collect", &self.collect)
+            .field("call_cost", &self.call_cost)
+            .field("entry_param", &self.entry_param)
+            .field("telemetry_enabled", &self.telemetry.enabled())
+            .finish()
     }
 }
 
@@ -66,6 +87,13 @@ impl VmConfig {
     /// Sets the call budget.
     pub fn with_max_calls(mut self, max_calls: u64) -> Self {
         self.max_calls = max_calls;
+        self
+    }
+
+    /// Sets the telemetry sink (e.g. a
+    /// [`Recorder`](deltapath_telemetry::Recorder)).
+    pub fn with_telemetry(mut self, telemetry: Arc<dyn Telemetry>) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -157,10 +185,18 @@ impl<'p> Vm<'p> {
 
     /// Runs the program to completion.
     ///
+    /// When the configured telemetry sink is enabled, the run's epilogue
+    /// emits a timed `vm.run` span, the run statistics as `vm.*` counters
+    /// and gauges, and the encoder's and collector's own reports (see
+    /// [`ContextEncoder::report_telemetry`]). No telemetry work happens
+    /// per call, so runs against the default [`NullTelemetry`] execute the
+    /// exact same instruction stream as before telemetry existed.
+    ///
     /// # Errors
     ///
     /// [`VmError`] when a safety limit is hit (the encoder state is then
-    /// unspecified; create a fresh `Vm` and encoder to retry).
+    /// unspecified; create a fresh `Vm` and encoder to retry). Failed runs
+    /// emit no telemetry.
     pub fn run<E: ContextEncoder>(
         &mut self,
         encoder: &mut E,
@@ -171,10 +207,41 @@ impl<'p> Vm<'p> {
         self.cycle_counters.iter_mut().for_each(|c| *c = 0);
         self.loaded.iter_mut().for_each(|l| *l = false);
 
+        let sink = Arc::clone(&self.config.telemetry);
+        let timer = SpanTimer::start(sink.as_ref());
         let entry = self.program.entry();
         encoder.thread_start(entry);
         self.invoke(entry, self.config.entry_param, None, 0, encoder, collector)?;
+        if sink.enabled() {
+            self.report_run(sink.as_ref(), encoder, collector, timer);
+        }
         Ok(self.stats)
+    }
+
+    /// The run epilogue: statistics, encoder and collector reports, and
+    /// the `vm.run` span. Only called for enabled sinks.
+    fn report_run<E: ContextEncoder>(
+        &self,
+        sink: &dyn Telemetry,
+        encoder: &E,
+        collector: &impl Collector,
+        timer: SpanTimer,
+    ) {
+        let stats = &self.stats;
+        sink.counter_add("vm.calls", stats.calls);
+        sink.counter_add("vm.base_cost", stats.base_cost);
+        sink.counter_add("vm.dynamic_loads", stats.dynamic_loads);
+        sink.counter_add("vm.observes", stats.observes);
+        sink.counter_add("vm.entries_collected", stats.entries_collected);
+        sink.gauge_max("vm.max_call_depth", stats.max_call_depth as u64);
+        sink.observe("vm.call_depth_peak", stats.max_call_depth as u64);
+        encoder.report_telemetry(sink);
+        collector.report_telemetry(sink);
+        timer.finish(
+            sink,
+            "vm.run",
+            &[("calls", stats.calls), ("base_cost", stats.base_cost)],
+        );
     }
 
     /// Statistics of the last (or in-progress) run.
@@ -387,10 +454,7 @@ mod tests {
     #[test]
     fn entries_mode_collects_app_methods() {
         let p = looping_program();
-        let mut vm = Vm::new(
-            &p,
-            VmConfig::default().with_collect(CollectMode::Entries),
-        );
+        let mut vm = Vm::new(&p, VmConfig::default().with_collect(CollectMode::Entries));
         let mut stats = ContextStats::new();
         let mut walker = StackWalkEncoder::full();
         let run = vm.run(&mut walker, &mut stats).unwrap();

@@ -1,0 +1,299 @@
+//! Atomic metric primitives: counters, max gauges and log2 histograms.
+//!
+//! Everything here is lock-free and shared by reference (`&self` methods),
+//! so hot paths can record from multiple threads without coordination.
+//! Relaxed ordering is sufficient throughout: metrics are monotonic
+//! accumulators whose values are only *read* after the measured work
+//! completes (publication happens via the joins/locks of the surrounding
+//! program, not via the metric itself).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta`, saturating at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        // fetch_add would wrap on overflow; a saturating CAS loop keeps
+        // long-run totals pinned at the ceiling instead of resetting.
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(delta);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that keeps the maximum value it has observed (a high-water
+/// mark).
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the gauge to `value` if it is a new maximum.
+    pub fn observe(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The maximum observed so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets of a [`Log2Histogram`]: one for zero plus one per
+/// possible bit width of a `u64`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-bucket base-2 histogram over `u64` values.
+///
+/// Bucket 0 counts zeros; bucket `i` (1..=64) counts values in
+/// `[2^(i-1), 2^i - 1]`. Fixed buckets mean recording is one index
+/// computation plus one atomic increment — cheap enough for always-on
+/// latency and depth accounting.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index `value` falls into.
+pub fn log2_bucket(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => 64 - v.leading_zeros() as usize,
+    }
+}
+
+/// The largest value bucket `index` can hold (inclusive upper bound).
+pub fn log2_bucket_limit(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[log2_bucket(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // The sum saturates rather than wraps (e.g. repeated u64::MAX
+        // latencies on a pathological run must not reset the total).
+        let mut current = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(value);
+            match self.sum.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The count in bucket `index`.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// An inclusive upper bound for the `q`-quantile (`q` in `[0, 1]`):
+    /// the limit of the first bucket at which the cumulative count reaches
+    /// `q * count`. Returns 0 for an empty histogram.
+    pub fn quantile_limit(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for i in 0..LOG2_BUCKETS {
+            seen += self.bucket(i);
+            if seen >= threshold {
+                return log2_bucket_limit(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// A point-in-time copy: `(count, sum, non-empty (bucket, count)
+    /// pairs)` in bucket order.
+    pub fn snapshot(&self) -> (u64, u64, Vec<(u8, u64)>) {
+        let buckets = (0..LOG2_BUCKETS)
+            .filter_map(|i| {
+                let c = self.bucket(i);
+                (c > 0).then_some((i as u8, c))
+            })
+            .collect();
+        (self.count(), self.sum(), buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates_and_saturates() {
+        let c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(1);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_keeps_maximum() {
+        let g = MaxGauge::new();
+        g.observe(3);
+        g.observe(7);
+        g.observe(5);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // The satellite-mandated boundary cases: 0, 1, powers of two,
+        // u64::MAX.
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket((1 << 31) - 1), 31);
+        assert_eq!(log2_bucket(1 << 31), 32);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+        assert_eq!(log2_bucket(1u64 << 63), 64);
+        assert_eq!(log2_bucket((1u64 << 63) - 1), 63);
+        // Limits are inclusive upper bounds of their bucket.
+        assert_eq!(log2_bucket_limit(0), 0);
+        assert_eq!(log2_bucket_limit(1), 1);
+        assert_eq!(log2_bucket_limit(2), 3);
+        assert_eq!(log2_bucket_limit(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            assert!(v <= log2_bucket_limit(log2_bucket(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), u64::MAX); // saturated by the MAX observation
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(2), 2);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.bucket(64), 1);
+        let (count, sum, buckets) = h.snapshot();
+        assert_eq!(count, 7);
+        assert_eq!(sum, u64::MAX);
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 2), (4, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000); // bucket 10, limit 1023
+        assert_eq!(h.quantile_limit(0.5), 1);
+        assert_eq!(h.quantile_limit(0.99), 1);
+        assert_eq!(h.quantile_limit(1.0), 1023);
+        assert_eq!(Log2Histogram::new().quantile_limit(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Log2Histogram::new());
+        let g = Arc::new(MaxGauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let (c, h, g) = (Arc::clone(&c), Arc::clone(&h), Arc::clone(&g));
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.incr();
+                        h.record(i % 17);
+                        g.observe(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(g.get(), 7 * 10_000 + 9_999);
+    }
+}

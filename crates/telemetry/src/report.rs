@@ -1,0 +1,591 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] is the frozen export of a [`Recorder`]: every counter,
+//! gauge and histogram plus the buffered trace events, tagged with a
+//! schema identifier so downstream tooling can detect format drift. It
+//! serializes two ways:
+//!
+//! - [`RunReport::to_json`] — one JSON document, convenient for humans and
+//!   for `deltapath report`.
+//! - [`RunReport::to_jsonl`] — JSON lines, one typed record per line
+//!   (`report` header, then `counter` / `gauge` / `histogram` / `event`
+//!   lines), convenient for streaming consumers and `deltapath trace`.
+//!
+//! Both forms parse back losslessly via [`RunReport::from_json`] /
+//! [`RunReport::from_jsonl`]; integers survive exactly because the JSON
+//! layer keeps them as 128-bit integers rather than floats.
+
+use std::fmt;
+
+use crate::json::{Json, JsonError};
+use crate::sink::Recorder;
+use crate::trace::TraceEvent;
+
+/// Schema identifier stamped into every report. Bump the trailing version
+/// on any incompatible field change.
+pub const RUN_REPORT_SCHEMA: &str = "deltapath.run_report.v1";
+
+/// A point-in-time snapshot of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observations.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs in bucket order; bucket
+    /// semantics are those of [`crate::metrics::Log2Histogram`].
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// A complete, serializable record of one instrumented run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Report name (e.g. the workload or benchmark that produced it).
+    pub name: String,
+    /// Free-form string metadata (`encoder`, `workload`, ...), sorted by
+    /// key.
+    pub meta: Vec<(String, String)>,
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` high-water-mark gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Buffered trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events the bounded trace had to evict before export.
+    pub dropped_events: u64,
+}
+
+/// A failure to interpret parsed JSON as a [`RunReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReportError {
+    /// The input was not valid JSON.
+    Json(JsonError),
+    /// The JSON was well-formed but not a valid report.
+    Schema(String),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ReportError::Schema(msg) => write!(f, "invalid report: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+fn schema_err<T>(msg: impl Into<String>) -> Result<T, ReportError> {
+    Err(ReportError::Schema(msg.into()))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, ReportError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ReportError::Schema(format!("missing or non-integer field {key:?}")))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, ReportError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ReportError::Schema(format!("missing or non-string field {key:?}")))
+}
+
+fn name_value_pairs(v: &Json, key: &str) -> Result<Vec<(String, u64)>, ReportError> {
+    let Some(obj) = v.get(key).and_then(Json::as_obj) else {
+        return schema_err(format!("missing or non-object field {key:?}"));
+    };
+    obj.iter()
+        .map(|(name, value)| {
+            value
+                .as_u64()
+                .map(|n| (name.clone(), n))
+                .ok_or_else(|| ReportError::Schema(format!("non-integer value in {key:?}")))
+        })
+        .collect()
+}
+
+fn buckets_from_json(v: &Json) -> Result<Vec<(u8, u64)>, ReportError> {
+    let Some(items) = v.as_arr() else {
+        return schema_err("histogram buckets must be an array");
+    };
+    items
+        .iter()
+        .map(|pair| match pair.as_arr() {
+            Some([b, c]) => {
+                let bucket = b
+                    .as_u64()
+                    .and_then(|b| u8::try_from(b).ok())
+                    .ok_or_else(|| ReportError::Schema("bad bucket index".to_owned()))?;
+                let count = c
+                    .as_u64()
+                    .ok_or_else(|| ReportError::Schema("bad bucket count".to_owned()))?;
+                Ok((bucket, count))
+            }
+            _ => schema_err("histogram bucket must be a [bucket, count] pair"),
+        })
+        .collect()
+}
+
+impl HistogramSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_owned(), Json::from_u64(self.count)),
+            ("sum".to_owned(), Json::from_u64(self.sum)),
+            (
+                "buckets".to_owned(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(b, c)| {
+                            Json::Arr(vec![Json::from_u64(u64::from(b)), Json::from_u64(c)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ReportError> {
+        Ok(Self {
+            count: field_u64(v, "count")?,
+            sum: field_u64(v, "sum")?,
+            buckets: buckets_from_json(
+                v.get("buckets")
+                    .ok_or_else(|| ReportError::Schema("missing buckets".to_owned()))?,
+            )?,
+        })
+    }
+}
+
+fn event_to_json(e: &TraceEvent) -> Json {
+    let mut fields = vec![
+        ("seq".to_owned(), Json::from_u64(e.seq)),
+        ("name".to_owned(), Json::Str(e.name.clone())),
+    ];
+    if let Some(ns) = e.duration_ns {
+        fields.push(("duration_ns".to_owned(), Json::from_u64(ns)));
+    }
+    fields.push((
+        "attrs".to_owned(),
+        Json::Obj(
+            e.attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
+fn event_from_json(v: &Json) -> Result<TraceEvent, ReportError> {
+    let attrs = match v.get("attrs") {
+        Some(attrs) => attrs
+            .as_obj()
+            .ok_or_else(|| ReportError::Schema("event attrs must be an object".to_owned()))?
+            .iter()
+            .map(|(k, value)| {
+                value
+                    .as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| ReportError::Schema("non-integer event attr".to_owned()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let duration_ns = match v.get("duration_ns") {
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or_else(|| ReportError::Schema("non-integer duration_ns".to_owned()))?,
+        ),
+        None => None,
+    };
+    Ok(TraceEvent {
+        seq: field_u64(v, "seq")?,
+        name: field_str(v, "name")?,
+        duration_ns,
+        attrs,
+    })
+}
+
+impl RunReport {
+    /// Exports the current contents of `recorder` under `name`.
+    pub fn from_recorder(name: &str, recorder: &Recorder) -> Self {
+        Self {
+            name: name.to_owned(),
+            meta: Vec::new(),
+            counters: recorder.counter_values(),
+            gauges: recorder.gauge_values(),
+            histograms: recorder
+                .histogram_snapshots()
+                .into_iter()
+                .map(|(n, (count, sum, buckets))| {
+                    (
+                        n,
+                        HistogramSnapshot {
+                            count,
+                            sum,
+                            buckets,
+                        },
+                    )
+                })
+                .collect(),
+            events: recorder.events(),
+            dropped_events: recorder.trace().dropped(),
+        }
+    }
+
+    /// Adds a metadata entry, keeping entries sorted by key.
+    pub fn with_meta(mut self, key: &str, value: &str) -> Self {
+        self.meta.push((key.to_owned(), value.to_owned()));
+        self.meta.sort();
+        self
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The report as a single JSON value.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_owned(), Json::Str(RUN_REPORT_SCHEMA.to_owned())),
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "meta".to_owned(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".to_owned(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "events".to_owned(),
+                Json::Arr(self.events.iter().map(event_to_json).collect()),
+            ),
+            (
+                "dropped_events".to_owned(),
+                Json::from_u64(self.dropped_events),
+            ),
+        ])
+    }
+
+    /// The report as a compact JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Parses a report from a JSON document produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError`] on malformed JSON, a wrong `schema` tag, or missing
+    /// or mistyped fields.
+    pub fn from_json(text: &str) -> Result<Self, ReportError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Interprets an already-parsed JSON value as a report.
+    pub fn from_json_value(v: &Json) -> Result<Self, ReportError> {
+        let schema = field_str(v, "schema")?;
+        if schema != RUN_REPORT_SCHEMA {
+            return schema_err(format!(
+                "unsupported schema {schema:?} (expected {RUN_REPORT_SCHEMA:?})"
+            ));
+        }
+        let meta = match v.get("meta").and_then(Json::as_obj) {
+            Some(fields) => fields
+                .iter()
+                .map(|(k, value)| {
+                    value
+                        .as_str()
+                        .map(|s| (k.clone(), s.to_owned()))
+                        .ok_or_else(|| ReportError::Schema("non-string meta value".to_owned()))
+                })
+                .collect::<Result<_, _>>()?,
+            None => return schema_err("missing or non-object field \"meta\""),
+        };
+        let histograms = match v.get("histograms").and_then(Json::as_obj) {
+            Some(fields) => fields
+                .iter()
+                .map(|(k, h)| HistogramSnapshot::from_json(h).map(|h| (k.clone(), h)))
+                .collect::<Result<_, _>>()?,
+            None => return schema_err("missing or non-object field \"histograms\""),
+        };
+        let events = match v.get("events").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(event_from_json)
+                .collect::<Result<_, _>>()?,
+            None => return schema_err("missing or non-array field \"events\""),
+        };
+        Ok(Self {
+            name: field_str(v, "name")?,
+            meta,
+            counters: name_value_pairs(v, "counters")?,
+            gauges: name_value_pairs(v, "gauges")?,
+            histograms,
+            events,
+            dropped_events: field_u64(v, "dropped_events")?,
+        })
+    }
+
+    /// The report as JSON lines: a `report` header line carrying name,
+    /// meta and the dropped-event count, then one typed line per metric
+    /// and event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let header = Json::Obj(vec![
+            ("type".to_owned(), Json::Str("report".to_owned())),
+            ("schema".to_owned(), Json::Str(RUN_REPORT_SCHEMA.to_owned())),
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "meta".to_owned(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "dropped_events".to_owned(),
+                Json::from_u64(self.dropped_events),
+            ),
+        ]);
+        header.write(&mut out);
+        out.push('\n');
+        let mut line = |fields: Vec<(String, Json)>| {
+            Json::Obj(fields).write(&mut out);
+            out.push('\n');
+        };
+        for (name, value) in &self.counters {
+            line(vec![
+                ("type".to_owned(), Json::Str("counter".to_owned())),
+                ("name".to_owned(), Json::Str(name.clone())),
+                ("value".to_owned(), Json::from_u64(*value)),
+            ]);
+        }
+        for (name, value) in &self.gauges {
+            line(vec![
+                ("type".to_owned(), Json::Str("gauge".to_owned())),
+                ("name".to_owned(), Json::Str(name.clone())),
+                ("value".to_owned(), Json::from_u64(*value)),
+            ]);
+        }
+        for (name, h) in &self.histograms {
+            let mut fields = vec![
+                ("type".to_owned(), Json::Str("histogram".to_owned())),
+                ("name".to_owned(), Json::Str(name.clone())),
+            ];
+            if let Json::Obj(snapshot) = h.to_json() {
+                fields.extend(snapshot);
+            }
+            line(fields);
+        }
+        for event in &self.events {
+            let mut fields = vec![("type".to_owned(), Json::Str("event".to_owned()))];
+            if let Json::Obj(body) = event_to_json(event) {
+                fields.extend(body);
+            }
+            line(fields);
+        }
+        out
+    }
+
+    /// Parses a report from the JSON-lines form produced by
+    /// [`Self::to_jsonl`]. Blank lines are skipped; the `report` header
+    /// must come first.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError`] on malformed lines, an unknown line `type`, or a
+    /// missing header.
+    pub fn from_jsonl(text: &str) -> Result<Self, ReportError> {
+        let mut report: Option<RunReport> = None;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line)?;
+            let kind = field_str(&v, "type")?;
+            match (kind.as_str(), &mut report) {
+                ("report", slot @ None) => {
+                    let schema = field_str(&v, "schema")?;
+                    if schema != RUN_REPORT_SCHEMA {
+                        return schema_err(format!("unsupported schema {schema:?}"));
+                    }
+                    let meta = match v.get("meta").and_then(Json::as_obj) {
+                        Some(fields) => fields
+                            .iter()
+                            .map(|(k, value)| {
+                                value
+                                    .as_str()
+                                    .map(|s| (k.clone(), s.to_owned()))
+                                    .ok_or_else(|| {
+                                        ReportError::Schema("non-string meta value".to_owned())
+                                    })
+                            })
+                            .collect::<Result<_, _>>()?,
+                        None => Vec::new(),
+                    };
+                    *slot = Some(RunReport {
+                        name: field_str(&v, "name")?,
+                        meta,
+                        dropped_events: field_u64(&v, "dropped_events")?,
+                        ..RunReport::default()
+                    });
+                }
+                ("report", Some(_)) => return schema_err("duplicate report header line"),
+                (_, None) => return schema_err("first line must have type \"report\""),
+                ("counter", Some(r)) => r
+                    .counters
+                    .push((field_str(&v, "name")?, field_u64(&v, "value")?)),
+                ("gauge", Some(r)) => r
+                    .gauges
+                    .push((field_str(&v, "name")?, field_u64(&v, "value")?)),
+                ("histogram", Some(r)) => r
+                    .histograms
+                    .push((field_str(&v, "name")?, HistogramSnapshot::from_json(&v)?)),
+                ("event", Some(r)) => r.events.push(event_from_json(&v)?),
+                (other, Some(_)) => {
+                    return schema_err(format!("unknown line type {other:?}"));
+                }
+            }
+        }
+        report.ok_or_else(|| ReportError::Schema("empty input".to_owned()))
+    }
+}
+
+impl Recorder {
+    /// Freezes the recorder's current contents into a [`RunReport`].
+    pub fn report(&self, name: &str) -> RunReport {
+        RunReport::from_recorder(name, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Telemetry;
+
+    fn sample() -> RunReport {
+        let r = Recorder::with_trace_capacity(2);
+        r.counter_add("ops.delta.adds", u64::MAX);
+        r.counter_add("ops.delta.subs", 41);
+        r.gauge_max("encoder.delta.stack_hwm", 9);
+        r.observe("vm.depth", 0);
+        r.observe("vm.depth", 7);
+        r.observe("vm.depth", u64::MAX);
+        r.event("one", &[("a", 1)]);
+        r.span("two \"quoted\"\n", 123, &[]);
+        r.event("three", &[]); // evicts "one"
+        r.report("demo").with_meta("encoder", "delta")
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let report = sample();
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        // Exact u64 values survive (the f64 path would corrupt u64::MAX).
+        assert_eq!(parsed.counter("ops.delta.adds"), Some(u64::MAX));
+        assert_eq!(parsed.gauge("encoder.delta.stack_hwm"), Some(9));
+        assert_eq!(parsed.dropped_events, 1);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless() {
+        let report = sample();
+        let text = report.to_jsonl();
+        assert!(text.lines().count() >= 1 + 2 + 1 + 2 + 2);
+        let first = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("type").and_then(Json::as_str), Some("report"));
+        for line in text.lines() {
+            Json::parse(line).expect("every line is standalone JSON");
+        }
+        assert_eq!(RunReport::from_jsonl(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn event_names_with_escapes_survive() {
+        let report = sample();
+        let parsed = RunReport::from_jsonl(&report.to_jsonl()).unwrap();
+        assert!(parsed.events.iter().any(|e| e.name == "two \"quoted\"\n"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let report = sample();
+        let text = report.to_json().replace(RUN_REPORT_SCHEMA, "other.v9");
+        assert!(matches!(
+            RunReport::from_json(&text),
+            Err(ReportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn jsonl_requires_header_first() {
+        assert!(RunReport::from_jsonl("").is_err());
+        assert!(
+            RunReport::from_jsonl("{\"type\":\"counter\",\"name\":\"x\",\"value\":1}").is_err()
+        );
+        let double = format!("{0}{0}", sample().to_jsonl());
+        assert!(RunReport::from_jsonl(&double).is_err());
+    }
+
+    #[test]
+    fn empty_recorder_exports_cleanly() {
+        let report = Recorder::new().report("empty");
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(parsed.counters.is_empty());
+        assert_eq!(RunReport::from_jsonl(&report.to_jsonl()).unwrap(), report);
+    }
+}

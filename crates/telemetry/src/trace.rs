@@ -1,0 +1,148 @@
+//! A bounded ring-buffer event trace.
+//!
+//! Spans and point events from analysis and runtime land here. The buffer
+//! keeps the most recent `capacity` events and counts what it had to drop,
+//! so a long-running process can leave tracing on permanently without
+//! growing memory — the same contract as a flight recorder.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity; enough for every span of a large analysis plus a
+/// tail of runtime events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// One trace record: a completed span (with duration) or a point event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, assigned at record time; never reused,
+    /// so gaps reveal where drops happened.
+    pub seq: u64,
+    /// Event name (dot-separated, e.g. `"algo2.territories"`). Names are a
+    /// stable interface; see DESIGN.md's Observability section.
+    pub name: String,
+    /// Wall-clock duration for spans; `None` for point events.
+    pub duration_ns: Option<u64>,
+    /// Structured attributes (counts, sizes, indices).
+    pub attrs: Vec<(String, u64)>,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s with a dropped-events
+/// counter.
+#[derive(Debug)]
+pub struct EventTrace {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl EventTrace {
+    /// A trace holding at most `capacity` events (at least one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an event, evicting the oldest one when full.
+    pub fn push(&self, name: &str, duration_ns: Option<u64>, attrs: &[(&str, u64)]) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent {
+            seq,
+            name: name.to_owned(),
+            duration_ns,
+            attrs: attrs.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        };
+        let mut ring = self.ring.lock().expect("trace lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace lock").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let t = EventTrace::with_capacity(8);
+        t.push("a", None, &[("x", 1)]);
+        t.push("b", Some(250), &[]);
+        let events = t.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].attrs, vec![("x".to_owned(), 1)]);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].duration_ns, Some(250));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_oldest() {
+        let t = EventTrace::with_capacity(3);
+        for i in 0..10 {
+            t.push(&format!("e{i}"), None, &[]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let names: Vec<_> = t.snapshot().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["e7", "e8", "e9"]);
+        // Sequence numbers survive eviction: the gap records the drops.
+        assert_eq!(t.snapshot()[0].seq, 7);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let t = EventTrace::with_capacity(0);
+        t.push("only", None, &[]);
+        t.push("newer", None, &[]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.snapshot()[0].name, "newer");
+        assert_eq!(t.dropped(), 1);
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`specjvm`] — 15 named configurations standing in for the SPECjvm2008
 //!   benchmarks of the paper's evaluation;
 //! * [`figures`] — the paper's worked examples (Figures 4, 6, 7) as
-//!   runnable programs for end-to-end tests and the repository examples.
+//!   runnable programs for end-to-end tests and the repository examples;
+//! * [`rng`] — the vendored SplitMix64 generator all sampling goes through
+//!   (the build environment has no registry access, so no `rand`).
 //!
 //! # Example
 //!
@@ -27,5 +29,6 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod rng;
 pub mod specjvm;
 pub mod synthetic;

@@ -1,0 +1,180 @@
+//! A tiny vendored PRNG so workload generation needs no external crates.
+//!
+//! The build environment has no registry access, so `rand` cannot be a
+//! dependency. Workload generation only needs fast, seedable, deterministic
+//! sampling — not cryptographic quality — which SplitMix64 (Steele, Lea &
+//! Flood, OOPSLA 2014; the seeding function of `xoshiro`/`rand`) provides in
+//! a dozen lines. The same seed always yields the same stream on every
+//! platform.
+
+use std::ops::RangeInclusive;
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use deltapath_workloads::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::seed_from_u64(42);
+/// let mut b = SplitMix64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `u64` below `bound` (debiased via rejection sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        // Lemire-style rejection: reject the final partial slice so every
+        // residue is equally likely.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniform sample from an inclusive or exclusive integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Integer ranges [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled integer type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty sampling range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty sampling range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix64_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // SplitMix64 implementation (Vigna).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5u32..=5);
+            assert_eq!(w, 5);
+            let x = r.gen_range(0u64..=u64::MAX);
+            let _ = x; // full range must not overflow
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut r = SplitMix64::seed_from_u64(11);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(5u32..5);
+    }
+}

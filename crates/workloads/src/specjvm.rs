@@ -350,11 +350,7 @@ mod tests {
     fn every_benchmark_generates_and_validates() {
         for bench in suite() {
             let p = bench.program();
-            assert!(
-                p.methods().len() > 20,
-                "{} suspiciously small",
-                bench.name
-            );
+            assert!(p.methods().len() > 20, "{} suspiciously small", bench.name);
         }
     }
 }

@@ -16,8 +16,8 @@
 //! the same configuration always yields the identical program.
 
 use deltapath_ir::{ArgExpr, ClassId, MethodKind, Program, ProgramBuilder, Receiver, Scope};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SplitMix64;
 
 /// Configuration of the synthetic program generator.
 #[derive(Clone, Debug)]
@@ -153,7 +153,7 @@ struct Family {
 pub fn generate(config: &SyntheticConfig) -> Program {
     assert!(config.app_families > 0, "need at least one app family");
     assert!(config.layers > 0, "need at least one layer");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SplitMix64::seed_from_u64(config.seed);
     let mut b = ProgramBuilder::new(config.name.clone());
 
     // --- Classes -----------------------------------------------------
@@ -272,10 +272,10 @@ pub fn generate(config: &SyntheticConfig) -> Program {
         guard: Option<(u32, u32)>,
     }
 
-    let gen_calls = |rng: &mut StdRng,
-                         slot: &Slot,
-                         on_dynamic_class: bool,
-                         families: &[Family]|
+    let gen_calls = |rng: &mut SplitMix64,
+                     slot: &Slot,
+                     on_dynamic_class: bool,
+                     families: &[Family]|
      -> Vec<CallDesc> {
         let n = rng.gen_range(config.calls_per_method.0..=config.calls_per_method.1);
         let caller_is_app = families[slot.family].scope == Scope::Application;
@@ -331,8 +331,9 @@ pub fn generate(config: &SyntheticConfig) -> Program {
             let fam = &families[target.family];
             let desc = if target.is_virtual {
                 // Receiver list: a random subset of the family's classes.
-                let want =
-                    rng.gen_range(config.receiver_fanout.0..=config.receiver_fanout.1).max(1);
+                let want = rng
+                    .gen_range(config.receiver_fanout.0..=config.receiver_fanout.1)
+                    .max(1);
                 let mut receivers = Vec::new();
                 let mut candidates: Vec<usize> = (0..fam.classes.len())
                     .filter(|&i| Some(i) != fam.dynamic_ix)

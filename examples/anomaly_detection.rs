@@ -40,13 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f.call(vault, "unlock");
         })
         .finish();
-    b.method(handler, "handle", MethodKind::Virtual).work(1).finish();
+    b.method(handler, "handle", MethodKind::Virtual)
+        .work(1)
+        .finish();
     b.method(admin, "handle", MethodKind::Virtual)
         .body(|f| {
             f.call(auth, "check");
         })
         .finish();
-    b.method(user, "handle", MethodKind::Virtual).work(2).finish();
+    b.method(user, "handle", MethodKind::Virtual)
+        .work(2)
+        .finish();
     // The dynamically loaded plugin bypasses AuthFlow entirely.
     b.method(plugin, "handle", MethodKind::Virtual)
         .body(|f| {
@@ -108,7 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Training: learn the legitimate contexts of Vault.unlock. ---------
     let baseline: HashSet<EncodedContext> = run(0)?.into_iter().collect();
-    println!("training: {} legitimate context(s) of Vault.unlock", baseline.len());
+    println!(
+        "training: {} legitimate context(s) of Vault.unlock",
+        baseline.len()
+    );
     let decoder = plan.decoder();
     for ctx in &baseline {
         let pretty: Vec<String> = decoder

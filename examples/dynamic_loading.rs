@@ -12,8 +12,7 @@
 
 use deltapath::workloads::figures::figure6_program;
 use deltapath::{
-    Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, FrameTag, PlanConfig, Vm,
-    VmConfig,
+    Capture, CollectMode, DeltaEncoder, EncodingPlan, EventLog, FrameTag, PlanConfig, Vm, VmConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Run with DeltaPath and collect the event log. -------------------
     let vm_config = VmConfig::default().with_collect(CollectMode::ObservesOnly);
-    let mut vm = Vm::new(&program, vm_config);
+    let mut vm = Vm::new(&program, vm_config.clone());
     let mut encoder = DeltaEncoder::new(&plan);
     let mut log = EventLog::default();
     vm.run(&mut encoder, &mut log)?;

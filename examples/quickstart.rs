@@ -78,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let context = decoder.decode(ctx)?;
         let pretty: Vec<String> = context.iter().map(|&m| program.method_name(m)).collect();
-        println!("{event:>5}  {:<32}  {}", ctx.to_string(), pretty.join(" -> "));
+        println!(
+            "{event:>5}  {:<32}  {}",
+            ctx.to_string(),
+            pretty.join(" -> ")
+        );
     }
     Ok(())
 }

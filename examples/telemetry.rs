@@ -1,0 +1,84 @@
+//! Observability end to end: attach a [`Recorder`] to the analysis and the
+//! run, freeze the result into a [`RunReport`], and ship it as JSON.
+//!
+//! The report is the machine-readable counterpart of `deltapath run`'s
+//! human-readable summary: every abstract operation the encoder metered
+//! (`ops.deltapath.*`), the encoder's health metrics (`encoder.*`), the
+//! interpreter's run statistics (`vm.*`), the collector's output
+//! (`collector.*`) and the timed analysis spans (`plan.*`, `algo2.*`) under
+//! one stable schema — see DESIGN.md, "Observability".
+//!
+//! Run with: `cargo run --example telemetry`
+
+use std::sync::Arc;
+
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    CollectMode, ContextStats, DeltaEncoder, EncodingPlan, PlanConfig, Recorder, RunReport, Vm,
+    VmConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = generate(&SyntheticConfig {
+        name: "observed-app".to_owned(),
+        ..SyntheticConfig::default()
+    });
+
+    // One recorder observes everything: passing it to the *analysis* captures
+    // the timed `plan.*` / `algo2.*` spans, and passing it to the *VM* (via
+    // `VmConfig::with_telemetry`) captures the run. The default `VmConfig`
+    // uses `NullTelemetry` instead, which keeps uninstrumented runs at
+    // exactly zero telemetry cost.
+    let recorder = Arc::new(Recorder::new());
+    let plan = EncodingPlan::analyze_with(&program, &PlanConfig::default(), recorder.as_ref())?;
+
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default()
+            .with_collect(CollectMode::Entries)
+            .with_telemetry(recorder.clone()),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    let mut stats = ContextStats::new();
+    vm.run(&mut encoder, &mut stats)?;
+
+    // Freeze into a report and tag it with run metadata.
+    let report = recorder
+        .report("observed-app")
+        .with_meta("encoder", "deltapath")
+        .with_meta("example", "telemetry");
+
+    println!("a few of the recorded metrics:");
+    for name in [
+        "vm.calls",
+        "ops.deltapath.adds",
+        "ops.deltapath.sid_checks",
+        "encoder.deltapath.ucp_detections",
+        "collector.stats.unique",
+    ] {
+        println!("  {name:<34} {}", report.counter(name).unwrap_or(0));
+    }
+    println!(
+        "  {:<34} {}",
+        "encoder.deltapath.stack_hwm",
+        report.gauge("encoder.deltapath.stack_hwm").unwrap_or(0)
+    );
+    for (name, h) in &report.histograms {
+        if name.starts_with("plan.") || name.starts_with("algo2.") {
+            println!("  {name:<34} {} span(s), {} ns total", h.count, h.sum);
+        }
+    }
+
+    // The whole report serializes to one JSON document (or JSON lines via
+    // `to_jsonl`) and parses back losslessly.
+    let json = report.to_json();
+    assert_eq!(RunReport::from_json(&json)?, report);
+    println!(
+        "\nfull report: {} counters, {} gauges, {} histograms — {} bytes of JSON",
+        report.counters.len(),
+        report.gauges.len(),
+        report.histograms.len(),
+        json.len()
+    );
+    Ok(())
+}

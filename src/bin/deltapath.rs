@@ -7,17 +7,21 @@
 //! deltapath dot <benchmark> [--scope app|all]
 //! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|stackwalk|cct]
 //! deltapath decode <benchmark>     # run, capture, decode a few contexts
+//! deltapath report <benchmark> [--encoder NAME]   # machine-readable run report (JSON)
+//! deltapath report --from FILE                    # re-emit a saved report (round-trip)
+//! deltapath trace <benchmark> [--encoder NAME]    # the same report as JSON lines
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use deltapath::baselines::{CctEncoder, PccEncoder, PccWidth};
 use deltapath::workloads::specjvm::{program, suite};
 use deltapath::{
     Analysis, CallGraph, Capture, CollectMode, ContextEncoder, ContextStats, DeltaEncoder,
     EncodingPlan, EncodingWidth, EventLog, GraphConfig, GraphStats, NullCollector, NullEncoder,
-    PlanConfig, Program, ScopeFilter, StackWalkEncoder, Vm, VmConfig,
+    PlanConfig, Program, Recorder, RunReport, ScopeFilter, StackWalkEncoder, Vm, VmConfig,
 };
 
 fn main() -> ExitCode {
@@ -28,9 +32,11 @@ fn main() -> ExitCode {
         Some("dot") => cmd_dot(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: deltapath <list|inspect|dot|run|decode> [benchmark] [options]\n\
+                "usage: deltapath <list|inspect|dot|run|decode|report|trace> [benchmark] [options]\n\
                  \n\
                  list                      list the bundled SPECjvm2008-like benchmarks\n\
                  inspect <bench>           static characteristics and encoding plan summary\n\
@@ -39,7 +45,11 @@ fn main() -> ExitCode {
                  dot <bench>               print the encoded call graph in Graphviz format\n\
                  run <bench>               execute under an encoder and report costs\n\
                  \x20   --encoder NAME     native|pcc|deltapath|deltapath-nocpt|stackwalk|cct\n\
-                 decode <bench>            run, capture, and decode example contexts"
+                 decode <bench>            run, capture, and decode example contexts\n\
+                 report <bench>            run with telemetry; print the run report as JSON\n\
+                 \x20   --encoder NAME     as for `run` (default: deltapath)\n\
+                 \x20   --from FILE        re-emit a saved report (JSON or JSONL) instead\n\
+                 trace <bench>             like `report`, but printed as JSON lines"
             );
             return ExitCode::FAILURE;
         }
@@ -56,9 +66,7 @@ fn main() -> ExitCode {
 fn load(args: &[String]) -> Result<Program, String> {
     let name = args.first().ok_or("missing benchmark name")?;
     program(name).ok_or_else(|| {
-        format!(
-            "unknown benchmark {name:?}; run `deltapath list` to see the available ones"
-        )
+        format!("unknown benchmark {name:?}; run `deltapath list` to see the available ones")
     })
 }
 
@@ -176,7 +184,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             (run, Default::default(), 0)
         }
-        "pcc" => run_one(&p, vm_config, PccEncoder::from_plan(&plan, PccWidth::Bits32))?,
+        "pcc" => run_one(
+            &p,
+            vm_config,
+            PccEncoder::from_plan(&plan, PccWidth::Bits32),
+        )?,
         "deltapath" => run_one(&p, vm_config, DeltaEncoder::new(&plan))?,
         "deltapath-nocpt" => run_one(&p, vm_config, DeltaEncoder::new(&nocpt))?,
         "stackwalk" => run_one(&p, vm_config, StackWalkEncoder::full())?,
@@ -214,7 +226,9 @@ fn run_one<E: ContextEncoder>(
 ) -> Result<(deltapath::RunStats, deltapath::OpCounts, usize), String> {
     let mut vm = Vm::new(p, vm_config);
     let mut stats = ContextStats::new();
-    let run = vm.run(&mut encoder, &mut stats).map_err(|e| e.to_string())?;
+    let run = vm
+        .run(&mut encoder, &mut stats)
+        .map_err(|e| e.to_string())?;
     Ok((run, encoder.counts(), stats.unique_contexts()))
 }
 
@@ -249,8 +263,7 @@ fn cmd_decode(args: &[String]) -> Result<(), String> {
         };
         match decoder.decode(ctx) {
             Ok(context) => {
-                let pretty: Vec<String> =
-                    context.iter().map(|&m| p.method_name(m)).collect();
+                let pretty: Vec<String> = context.iter().map(|&m| p.method_name(m)).collect();
                 *by_context.entry(pretty).or_default() += 1;
             }
             Err(_) => errors += 1,
@@ -269,6 +282,79 @@ fn cmd_decode(args: &[String]) -> Result<(), String> {
     for (context, count) in ranked.iter().take(10) {
         println!("{count:>8}x  {}", context.join(" -> "));
     }
+    Ok(())
+}
+
+/// Runs `bench` under `--encoder` with a [`Recorder`] attached to both the
+/// plan analysis and the VM, and freezes the result into a [`RunReport`].
+fn telemetry_report(args: &[String]) -> Result<RunReport, String> {
+    let p = load(args)?;
+    let encoder_name = flag(args, "--encoder").unwrap_or_else(|| "deltapath".to_owned());
+    let recorder = Arc::new(Recorder::new());
+    let plan_config = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
+    let vm_config = VmConfig::default()
+        .with_collect(CollectMode::Entries)
+        .with_telemetry(recorder.clone());
+    match encoder_name.as_str() {
+        "native" => {
+            run_one(&p, vm_config, NullEncoder)?;
+        }
+        "pcc" => {
+            let plan = EncodingPlan::analyze_with(&p, &plan_config, recorder.as_ref())
+                .map_err(|e| e.to_string())?;
+            run_one(
+                &p,
+                vm_config,
+                PccEncoder::from_plan(&plan, PccWidth::Bits32),
+            )?;
+        }
+        "deltapath" => {
+            let plan = EncodingPlan::analyze_with(&p, &plan_config, recorder.as_ref())
+                .map_err(|e| e.to_string())?;
+            run_one(&p, vm_config, DeltaEncoder::new(&plan))?;
+        }
+        "deltapath-nocpt" => {
+            let plan =
+                EncodingPlan::analyze_with(&p, &plan_config.with_cpt(false), recorder.as_ref())
+                    .map_err(|e| e.to_string())?;
+            run_one(&p, vm_config, DeltaEncoder::new(&plan))?;
+        }
+        "stackwalk" => {
+            run_one(&p, vm_config, StackWalkEncoder::full())?;
+        }
+        "cct" => {
+            run_one(&p, vm_config, CctEncoder::new())?;
+        }
+        other => return Err(format!("unknown encoder {other:?}")),
+    }
+    Ok(recorder
+        .report(p.name())
+        .with_meta("benchmark", p.name())
+        .with_meta("encoder", &encoder_name)
+        .with_meta("scope", "app"))
+}
+
+/// Parses a saved report in either serialization: a single JSON document
+/// (`report` output) or JSON lines (`trace` output).
+fn parse_report(text: &str) -> Result<RunReport, String> {
+    RunReport::from_json(text)
+        .or_else(|_| RunReport::from_jsonl(text))
+        .map_err(|e| format!("not a run report in JSON or JSONL form: {e}"))
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    if let Some(path) = flag(args, "--from") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        println!("{}", parse_report(&text)?.to_json());
+        return Ok(());
+    }
+    println!("{}", telemetry_report(args)?.to_json());
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    print!("{}", telemetry_report(args)?.to_jsonl());
     Ok(())
 }
 

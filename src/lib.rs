@@ -28,6 +28,7 @@
 //! | [`callgraph`] | CHA/RTA/exact call-graph construction, SCCs, reachability |
 //! | [`core`] | the encoding algorithms, plans, runtime state machine, decoder |
 //! | [`runtime`] | the instrumented interpreter, encoder hooks, cost metering |
+//! | [`telemetry`] | std-only counters, histograms, event traces, JSON run reports |
 //! | [`baselines`] | PCC, Breadcrumbs-lite, calling-context tree |
 //! | [`workloads`] | synthetic program generator, SPECjvm-like suite, paper figures |
 //!
@@ -84,9 +85,12 @@ pub use deltapath_callgraph as callgraph;
 pub use deltapath_core as core;
 pub use deltapath_ir as ir;
 pub use deltapath_runtime as runtime;
+pub use deltapath_telemetry as telemetry;
 pub use deltapath_workloads as workloads;
 
-pub use deltapath_baselines::{BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth};
+pub use deltapath_baselines::{
+    BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth,
+};
 pub use deltapath_callgraph::{Analysis, CallGraph, GraphConfig, GraphStats, ScopeFilter};
 pub use deltapath_core::{
     DecodeError, Decoder, DeltaState, EncodeError, EncodedContext, EncodingPlan, EncodingWidth,
@@ -99,3 +103,4 @@ pub use deltapath_runtime::{
     Capture, CollectMode, Collector, ContextEncoder, ContextStats, CostModel, DeltaEncoder,
     EventLog, NullCollector, NullEncoder, OpCounts, RunStats, StackWalkEncoder, Vm, VmConfig,
 };
+pub use deltapath_telemetry::{NullTelemetry, Recorder, RunReport, Telemetry};

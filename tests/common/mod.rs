@@ -64,7 +64,7 @@ pub fn compare_against_ground_truth(program: &Program, plan: &EncodingPlan) -> C
     let vm_config = VmConfig::default().with_collect(CollectMode::Entries);
 
     let mut delta_log = CaptureLog::default();
-    let mut vm = Vm::new(program, vm_config);
+    let mut vm = Vm::new(program, vm_config.clone());
     let mut delta = DeltaEncoder::new(plan);
     vm.run(&mut delta, &mut delta_log).expect("delta run");
 

@@ -9,8 +9,8 @@ use common::compare_against_ground_truth;
 use deltapath::workloads::figures::figure7_program;
 use deltapath::workloads::synthetic::{generate, SyntheticConfig};
 use deltapath::{
-    CollectMode, ContextEncoder, DeltaEncoder, EncodingPlan, MethodKind, NullCollector,
-    PlanConfig, Program, ProgramBuilder, Receiver, ScopeFilter, Vm, VmConfig,
+    CollectMode, ContextEncoder, DeltaEncoder, EncodingPlan, MethodKind, NullCollector, PlanConfig,
+    Program, ProgramBuilder, Receiver, ScopeFilter, Vm, VmConfig,
 };
 
 /// main calls a static-only chain and a virtual family.
@@ -49,8 +49,7 @@ fn method(p: &Program, class: &str, name: &str) -> deltapath::MethodId {
 fn minimal_mode_skips_fixed_target_tracking() {
     let p = mixed_program();
     let full = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
-    let minimal =
-        EncodingPlan::analyze(&p, &PlanConfig::default().with_cpt_minimal()).unwrap();
+    let minimal = EncodingPlan::analyze(&p, &PlanConfig::default().with_cpt_minimal()).unwrap();
 
     // Full mode: everything checks and saves.
     assert!(full.entry(method(&p, "A", "leaf")).unwrap().check_sid);
@@ -90,8 +89,7 @@ fn minimal_mode_reduces_tracking_ops_and_stays_exact() {
     });
     let base = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
     let full = EncodingPlan::analyze(&program, &base).unwrap();
-    let minimal =
-        EncodingPlan::analyze(&program, &base.clone().with_cpt_minimal()).unwrap();
+    let minimal = EncodingPlan::analyze(&program, &base.clone().with_cpt_minimal()).unwrap();
 
     let ops = |plan: &EncodingPlan| {
         let mut vm = Vm::new(&program, VmConfig::default());

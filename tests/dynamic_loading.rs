@@ -39,10 +39,7 @@ fn figure6_benign_and_hazardous_paths() {
             unreachable!()
         };
         let decoded = decoder.decode(ctx).unwrap();
-        let pretty: Vec<String> = decoded
-            .iter()
-            .map(|&m| program.method_name(m))
-            .collect();
+        let pretty: Vec<String> = decoded.iter().map(|&m| program.method_name(m)).collect();
         match event {
             // D.d events: reached directly (Main->B->DHandler->D) or via the
             // benign plugin (Main->B->(XBenign)->DHandler->D). Both decode
@@ -82,8 +79,7 @@ fn figure6_without_cpt_corrupts_hazardous_decodes() {
     // The motivation for call-path tracking: with CPT disabled, the
     // hazardous path either mis-decodes or errors — it cannot be correct.
     let program = figure6_program();
-    let plan =
-        EncodingPlan::analyze(&program, &PlanConfig::default().with_cpt(false)).unwrap();
+    let plan = EncodingPlan::analyze(&program, &PlanConfig::default().with_cpt(false)).unwrap();
     let mut vm = Vm::new(
         &program,
         VmConfig::default().with_collect(CollectMode::ObservesOnly),
@@ -104,10 +100,7 @@ fn figure6_without_cpt_corrupts_hazardous_decodes() {
         }
         e_events += 1;
         if let Ok(decoded) = decoder.decode(ctx) {
-            let pretty: Vec<String> = decoded
-                .iter()
-                .map(|&m| program.method_name(m))
-                .collect();
+            let pretty: Vec<String> = decoded.iter().map(|&m| program.method_name(m)).collect();
             if pretty == vec!["Main.run", "B.b", "E.e"] {
                 decoded_b_path += 1;
             }

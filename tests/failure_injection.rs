@@ -4,13 +4,12 @@
 //! context must never decode to the original context's methods plus
 //! garbage, and no corruption may cause a panic.
 
+use deltapath::workloads::rng::SplitMix64;
 use deltapath::workloads::synthetic::{generate, SyntheticConfig};
 use deltapath::{
     Capture, CollectMode, DeltaEncoder, EncodedContext, EncodingPlan, EventLog, Frame, FrameTag,
     MethodId, PlanConfig, SiteId, Vm, VmConfig,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn collected_contexts() -> (deltapath::Program, EncodingPlan, Vec<EncodedContext>) {
     let program = generate(&SyntheticConfig {
@@ -44,14 +43,15 @@ fn collected_contexts() -> (deltapath::Program, EncodingPlan, Vec<EncodedContext
 fn id_bit_flips_never_panic_and_never_misdecode_silently() {
     let (_p, plan, contexts) = collected_contexts();
     let decoder = plan.decoder();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::seed_from_u64(7);
     let mut flips = 0;
     let mut rejected = 0;
+    let mut aliased = 0;
     for ctx in contexts.iter().take(200) {
         let original = decoder.decode(ctx).expect("pristine context decodes");
         for _ in 0..4 {
             let mut corrupt = ctx.clone();
-            corrupt.id ^= 1 << rng.gen_range(0..16);
+            corrupt.id ^= 1 << rng.gen_range(0u32..16);
             if corrupt.id == ctx.id {
                 continue;
             }
@@ -59,15 +59,22 @@ fn id_bit_flips_never_panic_and_never_misdecode_silently() {
             match decoder.decode(&corrupt) {
                 // A flipped ID may coincide with another *valid* context —
                 // that is indistinguishable by design (the ID space is
-                // dense). What must never happen is returning the original
-                // context for a different ID.
-                Ok(decoded) => assert_ne!(decoded, original, "flip must change the decode"),
+                // dense). The decode only reports the method sequence, so a
+                // different ID can even alias the original's *methods* when
+                // two call sites connect the same pair of methods; that must
+                // stay a rare coincidence, not the common case.
+                Ok(decoded) if decoded == original => aliased += 1,
+                Ok(_) => {}
                 Err(_) => rejected += 1,
             }
         }
     }
     assert!(flips > 100);
     assert!(rejected > 0, "some corruptions must be caught outright");
+    assert!(
+        aliased * 20 < flips,
+        "method-sequence aliasing must be rare ({aliased}/{flips})"
+    );
 }
 
 #[test]

@@ -68,7 +68,7 @@ fn parsed_programs_produce_identical_plans() {
     );
     // Site numbering (and hence exact addition values) may legitimately
     // differ; what must hold is that the parsed program's plan verifies.
-    let report = deltapath::core::verify::verify_plan(&plan_b, 1, 20_000)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let report =
+        deltapath::core::verify::verify_plan(&plan_b, 1, 20_000).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(report.contexts, report.unique);
 }

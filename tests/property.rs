@@ -2,6 +2,11 @@
 //! core guarantees — unique encodings, exact round-trip decoding, and
 //! anchor-bounded encoding spaces — across the whole configuration space of
 //! the generator.
+//!
+//! Gated behind the non-default `proptest` feature: the offline build
+//! environment cannot fetch the `proptest` crate (see Cargo.toml).
+
+#![cfg(feature = "proptest")]
 
 mod common;
 

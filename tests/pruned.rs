@@ -29,7 +29,9 @@ fn program() -> Program {
             f.call(c, "target");
         })
         .finish();
-    b.method(c, "cold_leaf", MethodKind::Static).work(5).finish();
+    b.method(c, "cold_leaf", MethodKind::Static)
+        .work(5)
+        .finish();
     b.method(c, "cold", MethodKind::Static)
         .body(|f| {
             f.loop_(10, |f| {
@@ -60,8 +62,7 @@ fn method(p: &Program, name: &str) -> deltapath::MethodId {
 #[test]
 fn pruned_plan_skips_cold_code_and_decodes_targets() {
     let p = program();
-    let full_graph =
-        deltapath::CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+    let full_graph = deltapath::CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
     let pruned = prune_to_targets(&full_graph, &[method(&p, "target")]);
     let plan = EncodingPlan::from_graph(&p, pruned, &PlanConfig::default()).unwrap();
 
@@ -111,8 +112,7 @@ fn pruned_plan_skips_cold_code_and_decodes_targets() {
 fn pruned_plan_is_cheaper_than_full_plan() {
     let p = program();
     let full = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
-    let full_graph =
-        deltapath::CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+    let full_graph = deltapath::CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
     let pruned_graph = prune_to_targets(&full_graph, &[method(&p, "target")]);
     let pruned = EncodingPlan::from_graph(&p, pruned_graph, &PlanConfig::default()).unwrap();
     assert!(pruned.instrumented_site_count() < full.instrumented_site_count());

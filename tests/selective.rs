@@ -41,10 +41,7 @@ fn figure7_recovers_abg_from_abdfg() {
         // The concrete path is A.run -> B.b -> D.d -> F.f -> G.g; the
         // decoded application context elides the library detour: A B G.
         let decoded = decoder.decode(ctx).unwrap();
-        let pretty: Vec<String> = decoded
-            .iter()
-            .map(|&m| program.method_name(m))
-            .collect();
+        let pretty: Vec<String> = decoded.iter().map(|&m| program.method_name(m)).collect();
         assert_eq!(pretty, vec!["A.run", "B.b", "G.g"]);
     }
 }

@@ -1,0 +1,131 @@
+//! Integration tests for the observability layer: the telemetry a `Vm` run
+//! emits must agree *exactly* with the encoder's own metering, serialize
+//! losslessly through both report forms, and change nothing about the run
+//! when disabled.
+
+use std::sync::Arc;
+
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{
+    CollectMode, ContextEncoder, ContextStats, DeltaEncoder, EncodingPlan, PlanConfig, Program,
+    Recorder, RunReport, RunStats, Vm, VmConfig,
+};
+
+fn workload() -> Program {
+    generate(&SyntheticConfig::default())
+}
+
+/// Runs `program` under DeltaPath with `recorder` attached (if any) and
+/// returns the run stats plus the encoder's final self-metered state.
+fn run_deltapath(
+    program: &Program,
+    plan: &EncodingPlan,
+    recorder: Option<Arc<Recorder>>,
+) -> (RunStats, deltapath::OpCounts, usize, u64) {
+    let mut config = VmConfig::default().with_collect(CollectMode::Entries);
+    if let Some(r) = recorder {
+        config = config.with_telemetry(r);
+    }
+    let mut vm = Vm::new(program, config);
+    let mut encoder = DeltaEncoder::new(plan);
+    let mut stats = ContextStats::new();
+    let run = vm.run(&mut encoder, &mut stats).expect("run succeeds");
+    (
+        run,
+        ContextEncoder::counts(&encoder),
+        encoder.stack_high_water(),
+        encoder.ucp_detections(),
+    )
+}
+
+#[test]
+fn telemetry_op_counters_equal_encoder_counts() {
+    let p = workload();
+    let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).expect("plan");
+    let recorder = Arc::new(Recorder::new());
+    let (run, counts, hwm, ucps) = run_deltapath(&p, &plan, Some(recorder.clone()));
+    assert!(run.calls > 0, "workload must execute calls");
+
+    let report = recorder.report("synthetic");
+    let counter = |name: &str| {
+        report
+            .counter(name)
+            .unwrap_or_else(|| panic!("counter {name:?} missing from report"))
+    };
+
+    // Every abstract operation the encoder metered must appear, exactly,
+    // under the stable `ops.<technique>.<op>` names.
+    assert_eq!(counter("ops.deltapath.adds"), counts.adds);
+    assert_eq!(counter("ops.deltapath.subs"), counts.subs);
+    assert_eq!(counter("ops.deltapath.hashes"), counts.hashes);
+    assert_eq!(counter("ops.deltapath.pending_saves"), counts.pending_saves);
+    assert_eq!(counter("ops.deltapath.sid_checks"), counts.sid_checks);
+    assert_eq!(counter("ops.deltapath.pushes"), counts.pushes);
+    assert_eq!(counter("ops.deltapath.pops"), counts.pops);
+    assert_eq!(counter("ops.deltapath.walked_frames"), counts.walked_frames);
+    assert_eq!(counter("ops.deltapath.cct_moves"), counts.cct_moves);
+
+    // Encoder-level health metrics.
+    assert_eq!(
+        report.gauge("encoder.deltapath.stack_hwm"),
+        Some(hwm as u64)
+    );
+    assert_eq!(counter("encoder.deltapath.ucp_detections"), ucps);
+    assert_eq!(counter("encoder.deltapath.push_pop_imbalance"), 0);
+
+    // VM-level run statistics.
+    assert_eq!(counter("vm.calls"), run.calls);
+    assert_eq!(counter("vm.base_cost"), run.base_cost);
+    assert_eq!(counter("vm.observes"), run.observes);
+    assert_eq!(counter("vm.entries_collected"), run.entries_collected);
+    assert_eq!(
+        report.gauge("vm.max_call_depth"),
+        Some(run.max_call_depth as u64)
+    );
+}
+
+#[test]
+fn run_report_roundtrips_through_json_and_jsonl() {
+    let p = workload();
+    let recorder = Arc::new(Recorder::new());
+    // Analysis spans flow into the same recorder as the run.
+    let plan =
+        EncodingPlan::analyze_with(&p, &PlanConfig::default(), recorder.as_ref()).expect("plan");
+    run_deltapath(&p, &plan, Some(recorder.clone()));
+
+    let report = recorder
+        .report("synthetic")
+        .with_meta("encoder", "deltapath")
+        .with_meta("scope", "all");
+    assert!(
+        report.counter("plan.analyze").is_none(),
+        "plan.analyze is a span (histogram), not a counter"
+    );
+    assert!(
+        report.histograms.iter().any(|(n, _)| n == "plan.analyze"),
+        "analysis spans must appear in the same report"
+    );
+
+    let via_json = RunReport::from_json(&report.to_json()).expect("JSON parses");
+    assert_eq!(via_json, report);
+    let via_jsonl = RunReport::from_jsonl(&report.to_jsonl()).expect("JSONL parses");
+    assert_eq!(via_jsonl, report);
+}
+
+#[test]
+fn null_telemetry_changes_nothing_about_the_run() {
+    let p = workload();
+    let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).expect("plan");
+    let (run_null, counts_null, hwm_null, ucps_null) = run_deltapath(&p, &plan, None);
+    let recorder = Arc::new(Recorder::new());
+    let (run_rec, counts_rec, hwm_rec, ucps_rec) = run_deltapath(&p, &plan, Some(recorder.clone()));
+
+    // The interpreter is deterministic: with and without telemetry the runs
+    // must be identical in every metered respect.
+    assert_eq!(run_null, run_rec);
+    assert_eq!(counts_null, counts_rec);
+    assert_eq!(hwm_null, hwm_rec);
+    assert_eq!(ucps_null, ucps_rec);
+    // And the instrumented run really did record something.
+    assert!(recorder.report("x").counter("vm.calls").is_some());
+}
