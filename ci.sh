@@ -21,5 +21,17 @@ if [ "${1:-}" != "fast" ]; then
 fi
 step cargo test -q --workspace
 
+# The suite must pass under serial test execution too: concurrency bugs
+# (and tests accidentally depending on parallel scheduling) surface as
+# differences between the two runs.
+step env RUST_TEST_THREADS=1 cargo test -q --workspace
+
+# Concurrency stress: the sharded-collector / parallel-plan suite at
+# pinned VM thread counts (the tests default to 2,4,8; pinning each count
+# separately varies the handle/shard interleavings).
+for t in 2 4 8; do
+    step env DELTAPATH_STRESS_THREADS="$t" cargo test -q --test sharded_collector
+done
+
 echo
 echo "CI OK"

@@ -22,11 +22,13 @@
 //! The decoder never fabricates a context: every structural inconsistency
 //! in its input surfaces as a [`DecodeError`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use deltapath_callgraph::{reachable_from, NodeIx};
 use deltapath_ir::MethodId;
+use deltapath_telemetry::{names, Telemetry};
 
 use crate::context::{EncodedContext, FrameTag};
 use crate::error::DecodeError;
@@ -38,16 +40,30 @@ pub struct DecodeOptions {
     /// Maximum number of memo entries for search decoding of UCP pieces;
     /// exceeding it yields [`DecodeError::DepthExceeded`].
     pub search_state_limit: usize,
+    /// Maximum number of decoded pieces memoized across calls, keyed by
+    /// `(piece root, piece end, id)`. Repeated hot contexts — the common
+    /// case when draining a sharded collector — then decode in O(frames)
+    /// instead of re-running the per-piece walk. `0` disables the cache.
+    /// Once full the cache stops admitting new pieces rather than
+    /// evicting (piece popularity is heavily skewed, so the first
+    /// `piece_cache_capacity` distinct pieces are the ones worth
+    /// keeping).
+    pub piece_cache_capacity: usize,
 }
 
 impl Default for DecodeOptions {
-    /// A generous search budget (1 Mi states).
+    /// A generous search budget (1 Mi states) and a 64 Ki-piece cache.
     fn default() -> Self {
         Self {
             search_state_limit: 1 << 20,
+            piece_cache_capacity: 1 << 16,
         }
     }
 }
+
+/// A decoded piece keyed by `(piece root, piece end, piece id)` — the
+/// complete input of one piece decode, shared out of the cache by `Rc`.
+type PieceCache = HashMap<(NodeIx, NodeIx, u128), Rc<Vec<NodeIx>>>;
 
 /// A decoder over one [`EncodingPlan`].
 ///
@@ -58,7 +74,10 @@ impl Default for DecodeOptions {
 pub struct Decoder<'a> {
     plan: &'a EncodingPlan,
     options: DecodeOptions,
-    reach_cache: RefCell<HashMap<NodeIx, std::rc::Rc<Vec<bool>>>>,
+    reach_cache: RefCell<HashMap<NodeIx, Rc<Vec<bool>>>>,
+    piece_cache: RefCell<PieceCache>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 impl<'a> Decoder<'a> {
@@ -68,7 +87,26 @@ impl<'a> Decoder<'a> {
             plan,
             options,
             reach_cache: RefCell::new(HashMap::new()),
+            piece_cache: RefCell::new(HashMap::new()),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         }
+    }
+
+    /// `(hits, misses)` of the piece cache since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
+    }
+
+    /// Emits the piece-cache counters
+    /// ([`names::DECODER_PIECE_CACHE_HITS`] /
+    /// [`names::DECODER_PIECE_CACHE_MISSES`]) into `sink`.
+    pub fn report_telemetry(&self, sink: &dyn Telemetry) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.counter_add(names::DECODER_PIECE_CACHE_HITS, self.cache_hits.get());
+        sink.counter_add(names::DECODER_PIECE_CACHE_MISSES, self.cache_misses.get());
     }
 
     /// Decodes `ctx` into the full method sequence, outermost first.
@@ -133,18 +171,35 @@ impl<'a> Decoder<'a> {
     }
 
     /// Decodes one piece: the path `start..=end` whose addition values sum
-    /// to `id`.
+    /// to `id`. Successful decodes are memoized (a piece's path depends
+    /// only on the immutable plan and the key) so hot contexts replay in
+    /// O(frames) amortized.
     fn decode_piece(
         &self,
         start: NodeIx,
         end: NodeIx,
         id: u128,
-    ) -> Result<Vec<NodeIx>, DecodeError> {
-        if self.plan.encoding().is_anchor[start.index()] {
-            self.decode_anchor_piece(start, end, id)
-        } else {
-            self.decode_search_piece(start, end, id)
+    ) -> Result<Rc<Vec<NodeIx>>, DecodeError> {
+        let key = (start, end, id);
+        if self.options.piece_cache_capacity > 0 {
+            if let Some(piece) = self.piece_cache.borrow().get(&key) {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return Ok(piece.clone());
+            }
         }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let piece = Rc::new(if self.plan.encoding().is_anchor[start.index()] {
+            self.decode_anchor_piece(start, end, id)?
+        } else {
+            self.decode_search_piece(start, end, id)?
+        });
+        if self.options.piece_cache_capacity > 0 {
+            let mut cache = self.piece_cache.borrow_mut();
+            if cache.len() < self.options.piece_cache_capacity {
+                cache.insert(key, piece.clone());
+            }
+        }
+        Ok(piece)
     }
 
     /// Exact greedy decoding within an anchor's territory.

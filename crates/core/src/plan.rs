@@ -57,6 +57,13 @@ pub struct PlanConfig {
     /// methods. Only affects selective encoding; entries from dynamically
     /// loaded classes remain statically unknowable and use search decoding.
     pub anchor_ucp_entries: bool,
+    /// Worker threads for Algorithm 2's per-anchor territory tables. `0` or
+    /// `1` (the default) selects the sequential reference implementation;
+    /// larger values fan the independent per-anchor walks out over a scoped
+    /// std-thread pool. Either path produces the identical plan — the
+    /// parallel path is an execution strategy, not a different algorithm
+    /// (see [`Algo2Config::territory_workers`]).
+    pub territory_workers: usize,
 }
 
 impl Default for PlanConfig {
@@ -69,6 +76,7 @@ impl Default for PlanConfig {
             cpt: true,
             cpt_minimal: false,
             anchor_ucp_entries: true,
+            territory_workers: 1,
         }
     }
 }
@@ -102,6 +110,13 @@ impl PlanConfig {
     /// [`cpt_minimal`](PlanConfig::cpt_minimal)).
     pub fn with_cpt_minimal(mut self) -> Self {
         self.cpt_minimal = true;
+        self
+    }
+
+    /// Sets the territory-walk worker count (see
+    /// [`territory_workers`](PlanConfig::territory_workers)).
+    pub fn with_territory_workers(mut self, workers: usize) -> Self {
+        self.territory_workers = workers;
         self
     }
 }
@@ -248,7 +263,9 @@ impl EncodingPlan {
         if config.anchor_ucp_entries {
             forced.extend_from_slice(graph.ucp_entry_candidates());
         }
-        let algo2_config = Algo2Config::new(config.width).with_forced_anchors(forced);
+        let algo2_config = Algo2Config::new(config.width)
+            .with_forced_anchors(forced)
+            .with_territory_workers(config.territory_workers);
         let encoding = Encoding::analyze_with(&graph, &excluded, &algo2_config, sink)?;
         let sid_timer = SpanTimer::start(sink);
         let sids = SidTable::compute(&graph);
@@ -422,6 +439,120 @@ impl EncodingPlan {
     /// A decoder over this plan with default options.
     pub fn decoder(&self) -> Decoder<'_> {
         Decoder::new(self, DecodeOptions::default())
+    }
+
+    /// A canonical, deterministic dump of everything this plan instructs
+    /// the runtime and decoder to do: the graph shape, Algorithm 2's
+    /// tables, SIDs, and the per-site/per-entry instructions, with every
+    /// unordered container sorted. Two plans with equal fingerprints are
+    /// operationally identical. Execution-strategy knobs
+    /// ([`PlanConfig::territory_workers`]) are deliberately excluded so
+    /// the concurrency tests can pin that the parallel construction path
+    /// is byte-identical to the sequential reference.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let g = &self.graph;
+        writeln!(
+            out,
+            "width={:?} cpt={} cpt_minimal={} anchor_ucp={} entry={}",
+            self.config.width,
+            self.config.cpt,
+            self.config.cpt_minimal,
+            self.config.anchor_ucp_entries,
+            self.entry_method.index(),
+        )
+        .unwrap();
+        for node in g.nodes() {
+            writeln!(
+                out,
+                "node {} method={}",
+                node.index(),
+                g.method_of(node).index()
+            )
+            .unwrap();
+        }
+        for (i, edge) in g.edges().iter().enumerate() {
+            writeln!(
+                out,
+                "edge {} {}->{} site={}",
+                i,
+                edge.caller.index(),
+                edge.callee.index(),
+                edge.site.index(),
+            )
+            .unwrap();
+        }
+        let enc = &self.encoding;
+        let anchors: Vec<usize> = enc.anchors.iter().map(|a| a.index()).collect();
+        let overflow: Vec<usize> = enc.overflow_anchors.iter().map(|a| a.index()).collect();
+        writeln!(out, "anchors={anchors:?} overflow={overflow:?}").unwrap();
+        writeln!(out, "max_icc={} restarts={}", enc.max_icc, enc.restarts).unwrap();
+        let mut site_av: Vec<(usize, u128)> =
+            enc.site_av.iter().map(|(s, &v)| (s.index(), v)).collect();
+        site_av.sort_unstable();
+        for (site, av) in site_av {
+            writeln!(out, "av site={site} {av}").unwrap();
+        }
+        for (n, icc) in enc.icc.iter().enumerate() {
+            let mut rows: Vec<(usize, u128)> = icc.iter().map(|(r, &v)| (r.index(), v)).collect();
+            rows.sort_unstable();
+            writeln!(out, "icc node={n} {rows:?}").unwrap();
+        }
+        for (n, owners) in enc.nanchors.iter().enumerate() {
+            let owners: Vec<usize> = owners.iter().map(|r| r.index()).collect();
+            writeln!(out, "nanchors node={n} {owners:?}").unwrap();
+        }
+        for (e, owners) in enc.eanchors.iter().enumerate() {
+            let owners: Vec<usize> = owners.iter().map(|r| r.index()).collect();
+            writeln!(out, "eanchors edge={e} {owners:?}").unwrap();
+        }
+        let mut excluded: Vec<usize> = enc.excluded.iter().map(|e| e.index()).collect();
+        excluded.sort_unstable();
+        writeln!(out, "excluded={excluded:?}").unwrap();
+        for node in g.nodes() {
+            writeln!(
+                out,
+                "sid node={} {:?}",
+                node.index(),
+                self.sids.sid_of_node_index(node.index()),
+            )
+            .unwrap();
+        }
+        let mut sites: Vec<(usize, &SiteInstr)> =
+            self.sites.iter().map(|(s, i)| (s.index(), i)).collect();
+        sites.sort_unstable_by_key(|&(s, _)| s);
+        for (site, instr) in sites {
+            writeln!(
+                out,
+                "site {site} av={} encoded={} sid={:?} caller={} tracked={}",
+                instr.av,
+                instr.encoded,
+                instr.expected_sid,
+                instr.caller.index(),
+                instr.tracked,
+            )
+            .unwrap();
+        }
+        let mut entries: Vec<(usize, &EntryInstr)> =
+            self.entries.iter().map(|(m, i)| (m.index(), i)).collect();
+        entries.sort_unstable_by_key(|&(m, _)| m);
+        for (method, instr) in entries {
+            writeln!(
+                out,
+                "entry {method} sid={:?} anchor={} check={}",
+                instr.sid, instr.is_anchor, instr.check_sid,
+            )
+            .unwrap();
+        }
+        let mut backs: Vec<(usize, usize)> = self
+            .back_edge_calls
+            .iter()
+            .map(|&(s, m)| (s.index(), m.index()))
+            .collect();
+        backs.sort_unstable();
+        writeln!(out, "back_edge_calls={backs:?}").unwrap();
+        out
     }
 }
 

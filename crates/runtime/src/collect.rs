@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use deltapath_core::RelativeLog;
 use deltapath_ir::MethodId;
-use deltapath_telemetry::Telemetry;
+use deltapath_telemetry::{names, Telemetry};
 
 use crate::encoder::Capture;
 
@@ -83,6 +83,9 @@ impl Collector for EventLog {
     fn report_telemetry(&self, sink: &dyn Telemetry) {
         sink.counter_add("collector.event_log.recorded", self.events.len() as u64);
         sink.counter_add("collector.event_log.dropped", self.dropped);
+        // The collector-neutral name external tooling keys on; the
+        // `event_log.*` name above is kept for continuity.
+        sink.counter_add(names::COLLECTOR_EVENTS_DROPPED, self.dropped);
     }
 }
 
@@ -187,19 +190,64 @@ impl ContextStats {
         }
     }
 
+    /// Folds `other` into `self`, as if every capture recorded into
+    /// `other` had been recorded here instead. Counters and sums add,
+    /// maxima take the max, and the distinct-capture sets union — so the
+    /// merge is lossless and order-independent, which is what lets
+    /// [`ShardedCollector`](crate::ShardedCollector) keep per-shard stats
+    /// and still report the exact sequential `ContextStats`.
+    pub fn merge(&mut self, other: ContextStats) {
+        self.total_contexts += other.total_contexts;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.depth_sum += other.depth_sum;
+        self.max_stack_depth = self.max_stack_depth.max(other.max_stack_depth);
+        self.stack_depth_sum += other.stack_depth_sum;
+        self.max_ucp = self.max_ucp.max(other.max_ucp);
+        self.ucp_sum += other.ucp_sum;
+        self.max_id = self.max_id.max(other.max_id);
+        if self.unique.is_empty() {
+            self.unique = other.unique;
+        } else {
+            self.unique.extend(other.unique);
+        }
+    }
+
     fn absorb(&mut self, true_depth: usize, capture: Capture) {
+        self.absorb_counts(true_depth, delta_parts(&capture));
+        self.unique.insert(capture);
+    }
+
+    /// The counter-only half of [`absorb`](Self::absorb): everything
+    /// except the distinct-capture set. `delta` carries the
+    /// capture-derived values from [`delta_parts`] — splitting them out
+    /// lets [`ShardHandle`](crate::ShardHandle) accumulate counters
+    /// thread-locally and reuse the derived values of a memoized capture.
+    pub(crate) fn absorb_counts(&mut self, true_depth: usize, delta: Option<(usize, usize, u64)>) {
         self.total_contexts += 1;
         self.max_depth = self.max_depth.max(true_depth);
         self.depth_sum += true_depth as u64;
-        if let Capture::Delta(ctx) = &capture {
-            self.max_stack_depth = self.max_stack_depth.max(ctx.depth());
-            self.stack_depth_sum += ctx.depth() as u64;
-            let ucp = ctx.ucp_count();
+        if let Some((stack_depth, ucp, id)) = delta {
+            self.max_stack_depth = self.max_stack_depth.max(stack_depth);
+            self.stack_depth_sum += stack_depth as u64;
             self.max_ucp = self.max_ucp.max(ucp);
             self.ucp_sum += ucp as u64;
-            self.max_id = self.max_id.max(ctx.id);
+            self.max_id = self.max_id.max(id);
         }
+    }
+
+    /// Adds `capture` to the distinct set without touching counters.
+    pub(crate) fn insert_unique(&mut self, capture: Capture) {
         self.unique.insert(capture);
+    }
+}
+
+/// `(stack depth, UCP count, id)` of a DeltaPath capture, `None` for every
+/// other capture kind — the exact values [`ContextStats::absorb_counts`]
+/// folds in.
+pub(crate) fn delta_parts(capture: &Capture) -> Option<(usize, usize, u64)> {
+    match capture {
+        Capture::Delta(ctx) => Some((ctx.depth(), ctx.ucp_count(), ctx.id)),
+        _ => None,
     }
 }
 

@@ -66,9 +66,11 @@
 mod collect;
 mod encoder;
 mod encoders;
+mod shard;
 mod vm;
 
 pub use collect::{Collector, ContextStats, EventLog, NullCollector, RelativeCollector};
 pub use encoder::{report_op_counts, Capture, ContextEncoder, CostModel, OpCounts};
 pub use encoders::{DeltaEncoder, NullEncoder, StackWalkEncoder};
+pub use shard::{ShardHandle, ShardedCollector, DEFAULT_BATCH, DEFAULT_SHARDS};
 pub use vm::{CollectMode, RunStats, Vm, VmConfig, VmError};

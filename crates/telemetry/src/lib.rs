@@ -43,6 +43,7 @@
 
 mod json;
 mod metrics;
+pub mod names;
 mod report;
 mod sink;
 mod trace;

@@ -1,0 +1,36 @@
+//! Stable metric-name constants.
+//!
+//! Metric names are a stable interface (see DESIGN.md, "Observability"):
+//! external tooling keys on them, so producers across the workspace share
+//! these constants instead of re-typing strings. Only names consumed by
+//! more than one crate (or pinned by the integration tests) live here;
+//! single-site names such as the `ops.<technique>.<op>` family remain
+//! format strings at their emission point.
+
+/// Number of lock-striped shards a `ShardedCollector` was built with
+/// (gauge).
+pub const COLLECTOR_SHARD_SHARDS: &str = "collector.shard.shards";
+
+/// Batched flushes performed by sharded-collector handles (counter).
+pub const COLLECTOR_SHARD_FLUSHES: &str = "collector.shard.flushes";
+
+/// Events delivered into shards by batched flushes (counter).
+pub const COLLECTOR_SHARD_EVENTS: &str = "collector.shard.events";
+
+/// Configured per-handle batch size (gauge).
+pub const COLLECTOR_SHARD_BATCH: &str = "collector.shard.batch";
+
+/// Events whose capture was served from a handle's local memo — no shard
+/// delivery needed (counter).
+pub const COLLECTOR_SHARD_MEMO_HITS: &str = "collector.shard.memo_hits";
+
+/// Observations a bounded collector discarded because its log was full
+/// (counter; see `EventLog::bounded` in `deltapath-runtime`).
+pub const COLLECTOR_EVENTS_DROPPED: &str = "collector.events_dropped";
+
+/// Anchor-piece decode-cache hits (counter; see `Decoder` in
+/// `deltapath-core`).
+pub const DECODER_PIECE_CACHE_HITS: &str = "decoder.piece_cache.hits";
+
+/// Anchor-piece decode-cache misses (counter).
+pub const DECODER_PIECE_CACHE_MISSES: &str = "decoder.piece_cache.misses";

@@ -93,14 +93,15 @@ pub use deltapath_baselines::{
 };
 pub use deltapath_callgraph::{Analysis, CallGraph, GraphConfig, GraphStats, ScopeFilter};
 pub use deltapath_core::{
-    DecodeError, Decoder, DeltaState, EncodeError, EncodedContext, EncodingPlan, EncodingWidth,
-    Frame, FrameTag, PlanConfig, Sid,
+    DecodeError, DecodeOptions, Decoder, DeltaState, EncodeError, EncodedContext, EncodingPlan,
+    EncodingWidth, Frame, FrameTag, PlanConfig, Sid,
 };
 pub use deltapath_ir::{
     ArgExpr, ClassId, MethodId, MethodKind, Program, ProgramBuilder, Receiver, SiteId,
 };
 pub use deltapath_runtime::{
     Capture, CollectMode, Collector, ContextEncoder, ContextStats, CostModel, DeltaEncoder,
-    EventLog, NullCollector, NullEncoder, OpCounts, RunStats, StackWalkEncoder, Vm, VmConfig,
+    EventLog, NullCollector, NullEncoder, OpCounts, RunStats, ShardHandle, ShardedCollector,
+    StackWalkEncoder, Vm, VmConfig,
 };
 pub use deltapath_telemetry::{NullTelemetry, Recorder, RunReport, Telemetry};

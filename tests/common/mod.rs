@@ -60,6 +60,7 @@ impl Comparison {
 /// check can classify such paths as benign when sets were merged
 /// transitively — a documented imprecision of the paper's technique, not of
 /// this implementation.
+#[allow(dead_code)] // each test binary compiles its own copy of this module
 pub fn compare_against_ground_truth(program: &Program, plan: &EncodingPlan) -> Comparison {
     let vm_config = VmConfig::default().with_collect(CollectMode::Entries);
 

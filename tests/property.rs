@@ -13,7 +13,11 @@ mod common;
 use common::compare_against_ground_truth;
 use deltapath::core::verify::verify_plan;
 use deltapath::workloads::synthetic::{generate, SyntheticConfig};
-use deltapath::{Analysis, EncodingPlan, EncodingWidth, PlanConfig, ScopeFilter};
+use deltapath::{
+    Analysis, Capture, CollectMode, Collector, ContextStats, DecodeOptions, Decoder, DeltaEncoder,
+    EncodedContext, EncodingPlan, EncodingWidth, EventLog, Frame, FrameTag, MethodId, PlanConfig,
+    ScopeFilter, ShardedCollector, Vm, VmConfig,
+};
 use proptest::prelude::*;
 
 /// A generator-config strategy over closed-world programs (no library or
@@ -143,6 +147,133 @@ proptest! {
             cmp.exact_fraction(),
             cmp.tolerated
         );
+    }
+}
+
+/// One synthetic collection event: `(event id, true depth, capture
+/// depth)`, expanded into a [`Capture::Delta`] by [`delta_capture`].
+fn event_strategy() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..40, 0usize..10, 1usize..6)
+}
+
+fn delta_capture(id: u64, depth: usize) -> Capture {
+    let frame = Frame {
+        tag: FrameTag::Anchor,
+        node: MethodId::from_index(0),
+        site: None,
+        saved_id: 0,
+    };
+    Capture::Delta(EncodedContext {
+        frames: vec![frame; depth],
+        id,
+        at: MethodId::from_index(1),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Sharded collection is order-independent and lossless: any
+    /// permutation of any event stream, delivered through any number of
+    /// handles of any shard/batch configuration, merges to exactly the
+    /// statistics of an in-order sequential run — and agrees with the
+    /// [`RelativeCollector`] on the number of contexts collected.
+    #[test]
+    fn sharded_merge_is_order_independent(
+        (events, shuffled) in proptest::collection::vec(event_strategy(), 1..200)
+            .prop_flat_map(|v| (Just(v.clone()), Just(v).prop_shuffle())),
+        shards in 0usize..32,
+        batch in 1usize..64,
+        handles in 1usize..4,
+    ) {
+        use deltapath::runtime::RelativeCollector;
+
+        // Sequential reference, in generation order.
+        let mut sequential = ContextStats::new();
+        let mut relative = RelativeCollector::default();
+        for &(id, true_depth, depth) in &events {
+            let capture = delta_capture(id, depth);
+            sequential.record_entry(MethodId::from_index(2), true_depth, capture.clone());
+            relative.record_entry(MethodId::from_index(2), true_depth, capture);
+        }
+
+        // Concurrent shape: the *shuffled* stream, dealt round-robin over
+        // several handles — so both the delivery order and the
+        // handle-to-event assignment differ from the reference run.
+        let sharded = ShardedCollector::with_config(shards, batch);
+        let mut hs: Vec<_> = (0..handles).map(|_| sharded.handle()).collect();
+        for (i, &(id, true_depth, depth)) in shuffled.iter().enumerate() {
+            hs[i % handles].record_entry(
+                MethodId::from_index(2),
+                true_depth,
+                delta_capture(id, depth),
+            );
+        }
+        drop(hs); // flush every handle's tail
+
+        let merged = sharded.stats();
+        prop_assert_eq!(merged.total_contexts, sequential.total_contexts);
+        prop_assert_eq!(merged.unique_contexts(), sequential.unique_contexts());
+        prop_assert_eq!(merged.max_depth, sequential.max_depth);
+        prop_assert_eq!(merged.max_stack_depth, sequential.max_stack_depth);
+        prop_assert_eq!(merged.max_ucp, sequential.max_ucp);
+        prop_assert_eq!(merged.max_id, sequential.max_id);
+        prop_assert!((merged.avg_depth() - sequential.avg_depth()).abs() < 1e-12);
+        prop_assert!((merged.avg_stack_depth() - sequential.avg_stack_depth()).abs() < 1e-12);
+        prop_assert!((merged.avg_ucp() - sequential.avg_ucp()).abs() < 1e-12);
+        // Cross-collector agreement: every entry was a Delta capture, so
+        // the relative log collected exactly as many contexts.
+        prop_assert_eq!(relative.log.len() as u64, merged.total_contexts);
+        prop_assert_eq!(relative.skipped, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// The memoized piece cache is transparent: decoding every captured
+    /// context through a caching decoder — twice, so the second pass runs
+    /// hot — yields exactly the contexts an uncached decoder produces.
+    #[test]
+    fn decode_cache_hits_equal_uncached_decode(config in closed_world_configs()) {
+        let program = generate(&config);
+        let plan = EncodingPlan::analyze(&program, &PlanConfig::default())
+            .expect("plan analysis");
+        let mut vm = Vm::new(
+            &program,
+            VmConfig::default().with_collect(CollectMode::ObservesOnly),
+        );
+        let mut log = EventLog::default();
+        vm.run(&mut DeltaEncoder::new(&plan), &mut log).expect("run");
+
+        let cached = plan.decoder();
+        let uncached = Decoder::new(&plan, DecodeOptions {
+            piece_cache_capacity: 0,
+            ..DecodeOptions::default()
+        });
+        for _pass in 0..2 {
+            for (_, _, capture) in &log.events {
+                let Capture::Delta(ctx) = capture else { unreachable!() };
+                prop_assert_eq!(
+                    cached.decode(ctx).expect("cached decode"),
+                    uncached.decode(ctx).expect("uncached decode")
+                );
+            }
+        }
+        let (hits, misses) = cached.cache_stats();
+        let (u_hits, _) = uncached.cache_stats();
+        prop_assert_eq!(u_hits, 0);
+        // If the first pass touched any piece, the second pass must have
+        // served it from the cache.
+        if misses > 0 {
+            prop_assert!(hits > 0);
+        }
     }
 }
 

@@ -113,6 +113,46 @@ fn run_report_roundtrips_through_json_and_jsonl() {
 }
 
 #[test]
+fn bounded_event_log_surfaces_dropped_events() {
+    use deltapath::EventLog;
+
+    let p = workload();
+    let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).expect("plan");
+    let recorder = Arc::new(Recorder::new());
+    let mut vm = Vm::new(
+        &p,
+        VmConfig::default()
+            .with_collect(CollectMode::ObservesOnly)
+            .with_telemetry(recorder.clone()),
+    );
+    let mut encoder = DeltaEncoder::new(&plan);
+    // A capacity far below the workload's observation count, so the log
+    // genuinely wraps.
+    let mut log = EventLog::bounded(4);
+    vm.run(&mut encoder, &mut log).expect("run succeeds");
+
+    assert_eq!(log.events.len(), 4, "the log must fill to capacity");
+    assert!(log.dropped() > 0, "the workload must overflow the log");
+
+    // The drop count surfaces under the collector-neutral stable name
+    // (`collector.events_dropped`) and matches the collector exactly.
+    let report = recorder.report("bounded");
+    assert_eq!(
+        report.counter("collector.events_dropped"),
+        Some(log.dropped())
+    );
+    // The legacy log-specific names stay coherent with it.
+    assert_eq!(
+        report.counter("collector.event_log.dropped"),
+        Some(log.dropped())
+    );
+    assert_eq!(
+        report.counter("collector.event_log.recorded"),
+        Some(log.events.len() as u64)
+    );
+}
+
+#[test]
 fn null_telemetry_changes_nothing_about_the_run() {
     let p = workload();
     let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).expect("plan");
