@@ -21,6 +21,15 @@ if [ "${1:-}" != "fast" ]; then
 fi
 step cargo test -q --workspace
 
+# Static plan audit: every bundled workload's encoding plan must lint
+# clean — no DP0xx diagnostics at any severity (codes in DESIGN.md,
+# "Static analysis").
+if [ "${1:-}" != "fast" ]; then
+    step cargo run --quiet --release --bin deltapath -- lint --all --deny-warnings
+else
+    step cargo run --quiet --bin deltapath -- lint --all --deny-warnings
+fi
+
 # The suite must pass under serial test execution too: concurrency bugs
 # (and tests accidentally depending on parallel scheduling) surface as
 # differences between the two runs.

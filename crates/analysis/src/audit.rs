@@ -1,0 +1,929 @@
+//! The static plan auditor.
+//!
+//! [`audit_plan`] re-derives, from first principles, everything an
+//! [`EncodingPlan`] claims about itself and diffs the two views:
+//!
+//! * **Algorithm 2 territories** are recomputed by an independent
+//!   implementation of the paper's `IdentifyTerritories` (a bounded DFS per
+//!   anchor that retreats at other anchors) and compared against the stored
+//!   `nanchors`/`eanchors` tables (`DP002`/`DP003`).
+//! * **Algorithm 1/2 soundness** is checked symbolically: per `(node,
+//!   anchor)` pair, every non-excluded in-edge contributes the arrival
+//!   interval `[av, av + space(caller))`; the intervals must be pairwise
+//!   disjoint (that *is* injectivity, without enumerating a single path)
+//!   and their supremum must equal the stored ICC (`DP001`) and fit the
+//!   encoding width (`DP010`).
+//! * **Call-path tracking** recomputes the co-dispatch components with an
+//!   independent union-find and checks the SID partition against them:
+//!   distinct components must not share a SID (`DP020`, a silent UCP), one
+//!   component must not straddle SIDs (`DP021`, a false alarm).
+//! * **Call-graph hygiene**: unreachable nodes (`DP030`), dead edges
+//!   (`DP032`), and back-edge classification — surviving cycles,
+//!   non-anchor back-edge targets, needless exclusions (`DP031`).
+//!
+//! The auditor shares no code with the analysis it audits: `deltapath-core`
+//! computes the tables, this module recomputes them differently. A bug both
+//! implementations share can slip through; a bug in either one cannot.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use deltapath_callgraph::{
+    reachable_from, topological_order, EdgeIx, NodeIx, StronglyConnectedComponents,
+};
+use deltapath_core::{EncodingPlan, Sid};
+use deltapath_ir::Program;
+
+use crate::diag::{AuditReport, Diagnostic, LintCode};
+
+/// Audits `plan` against `program`, returning every finding.
+///
+/// A plan freshly produced by [`EncodingPlan::analyze`] audits clean (no
+/// errors, no warnings) on every bundled workload; any mutation of its
+/// tables is designed to surface as at least one diagnostic with a stable
+/// `DP0xx` code.
+pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
+    let graph = plan.graph();
+    let enc = plan.encoding();
+    let n = graph.node_count();
+    let m = graph.edge_count();
+
+    let mut report = AuditReport {
+        diagnostics: Vec::new(),
+        nodes: n,
+        edges: m,
+        anchors: enc.anchors.len(),
+    };
+
+    // Shape guard: every dependent check indexes these tables by node/edge
+    // index, so a length mismatch is reported once and aborts the audit
+    // instead of panicking half-way through it.
+    if enc.is_anchor.len() != n
+        || enc.icc.len() != n
+        || enc.nanchors.len() != n
+        || enc.eanchors.len() != m
+    {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::CavIccInconsistent,
+            format!(
+                "table shapes disagree with the graph: {n} nodes / {m} edges vs \
+                 is_anchor[{}] icc[{}] nanchors[{}] eanchors[{}]",
+                enc.is_anchor.len(),
+                enc.icc.len(),
+                enc.nanchors.len(),
+                enc.eanchors.len()
+            ),
+        ));
+        return report.finish();
+    }
+
+    let name_of = |node: NodeIx| program.method_name(graph.method_of(node));
+
+    // ---- Call-graph hygiene: reachability (DP030/DP032) ----
+    let mut starts: Vec<NodeIx> = graph.roots().to_vec();
+    starts.extend_from_slice(graph.ucp_entry_candidates());
+    let live = reachable_from(graph, &starts, &HashSet::new());
+    for node in graph.nodes() {
+        if !live[node.index()] {
+            report.diagnostics.push(Diagnostic::warning(
+                LintCode::UnreachableNode,
+                format!(
+                    "{} ({node}) is unreachable from every root and UCP entry candidate",
+                    name_of(node)
+                ),
+            ));
+        }
+    }
+    for (i, edge) in graph.edges().iter().enumerate() {
+        if !live[edge.caller.index()] || !live[edge.callee.index()] {
+            report.diagnostics.push(Diagnostic::warning(
+                LintCode::DeadEdge,
+                format!(
+                    "edge e{i} {} -> {} (site {}) touches an unreachable node",
+                    name_of(edge.caller),
+                    name_of(edge.callee),
+                    edge.site.index()
+                ),
+            ));
+        }
+    }
+
+    // ---- Back-edge classification (DP031) ----
+    let topo = topological_order(graph, &enc.excluded);
+    if topo.is_err() {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::UnclassifiedBackEdge,
+            "a cycle survives back-edge exclusion: the encoded graph is not acyclic".to_owned(),
+        ));
+    }
+    let scc = StronglyConnectedComponents::compute(graph);
+    let mut excluded_sorted: Vec<EdgeIx> = enc.excluded.iter().copied().collect();
+    excluded_sorted.sort_unstable();
+    for &e in &excluded_sorted {
+        if e.index() >= m {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::UnclassifiedBackEdge,
+                format!("excluded edge e{} does not exist in the graph", e.index()),
+            ));
+            continue;
+        }
+        let edge = graph.edge(e);
+        if !enc.is_anchor[edge.callee.index()] {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::UnclassifiedBackEdge,
+                format!(
+                    "back edge e{} targets {} ({}), which is not an anchor: its pieces \
+                     cannot restart",
+                    e.index(),
+                    name_of(edge.callee),
+                    edge.callee
+                ),
+            ));
+        }
+        let self_loop = edge.caller == edge.callee;
+        let same_scc =
+            scc.component_of[edge.caller.index()] == scc.component_of[edge.callee.index()];
+        if !self_loop && !same_scc {
+            report.diagnostics.push(Diagnostic::warning(
+                LintCode::UnclassifiedBackEdge,
+                format!(
+                    "excluded edge e{} {} -> {} closes no cycle: it is needlessly \
+                     invisible to the encoding",
+                    e.index(),
+                    name_of(edge.caller),
+                    name_of(edge.callee)
+                ),
+            ));
+        }
+    }
+    // The per-call back-edge classification the runtime consults must match
+    // the excluded edge set exactly.
+    let excluded_pairs: HashSet<(deltapath_ir::SiteId, deltapath_ir::MethodId)> = excluded_sorted
+        .iter()
+        .filter(|e| e.index() < m)
+        .map(|&e| {
+            let edge = graph.edge(e);
+            (edge.site, graph.method_of(edge.callee))
+        })
+        .collect();
+    let stored_pairs: HashSet<_> = plan.back_edge_call_pairs().collect();
+    for &(site, method) in stored_pairs.difference(&excluded_pairs) {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::UnclassifiedBackEdge,
+            format!(
+                "call (site {}, {}) is marked as a back-edge call but no excluded edge \
+                 matches it",
+                site.index(),
+                program.method_name(method)
+            ),
+        ));
+    }
+    for &(site, method) in excluded_pairs.difference(&stored_pairs) {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::UnclassifiedBackEdge,
+            format!(
+                "excluded edge at (site {}, {}) is missing from the back-edge call table",
+                site.index(),
+                program.method_name(method)
+            ),
+        ));
+    }
+
+    // ---- Anchor structure (DP003) ----
+    let anchor_list: BTreeSet<NodeIx> = enc.anchors.iter().copied().collect();
+    let anchor_flags: BTreeSet<NodeIx> =
+        graph.nodes().filter(|a| enc.is_anchor[a.index()]).collect();
+    for &a in anchor_list.difference(&anchor_flags) {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::AnchorCoverageGap,
+            format!(
+                "{} ({a}) is in the anchor list but not flagged as an anchor",
+                name_of(a)
+            ),
+        ));
+    }
+    for &a in anchor_flags.difference(&anchor_list) {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::AnchorCoverageGap,
+            format!(
+                "{} ({a}) is flagged as an anchor but missing from the anchor list",
+                name_of(a)
+            ),
+        ));
+    }
+    for &root in graph.roots() {
+        if !enc.is_anchor[root.index()] {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::AnchorCoverageGap,
+                format!(
+                    "root {} ({root}) is not an anchor: its contexts have no piece to \
+                     start from",
+                    name_of(root)
+                ),
+            ));
+        }
+    }
+
+    // ---- Territory recomputation (DP002/DP003) ----
+    let (nanchors2, eanchors2) = recompute_territories(graph, &enc.excluded, &enc.is_anchor);
+    for node in graph.nodes() {
+        let stored = &enc.nanchors[node.index()];
+        let stored_set: BTreeSet<NodeIx> = stored.iter().copied().collect();
+        if stored_set.len() != stored.len() {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::TerritoryOverlap,
+                format!(
+                    "{} ({node}) appears more than once in an anchor's territory list",
+                    name_of(node)
+                ),
+            ));
+        }
+        for &r in stored_set.difference(&nanchors2[node.index()]) {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::TerritoryOverlap,
+                format!(
+                    "{} ({node}) is recorded in the territory of anchor {} ({r}) but the \
+                     territory walk does not reach it",
+                    name_of(node),
+                    name_of(r)
+                ),
+            ));
+        }
+        for &r in nanchors2[node.index()].difference(&stored_set) {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::AnchorCoverageGap,
+                format!(
+                    "{} ({node}) is reached by the territory walk of anchor {} ({r}) but \
+                     missing from its stored territory",
+                    name_of(node),
+                    name_of(r)
+                ),
+            ));
+        }
+        if live[node.index()] && nanchors2[node.index()].is_empty() {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::AnchorCoverageGap,
+                format!(
+                    "reachable node {} ({node}) is covered by no anchor territory",
+                    name_of(node)
+                ),
+            ));
+        }
+    }
+    for (i, edge) in graph.edges().iter().enumerate() {
+        let stored = &enc.eanchors[i];
+        let stored_set: BTreeSet<NodeIx> = stored.iter().copied().collect();
+        if stored_set.len() != stored.len() {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::TerritoryOverlap,
+                format!("edge e{i} appears more than once in an anchor's territory list"),
+            ));
+        }
+        for &r in stored_set.difference(&eanchors2[i]) {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::TerritoryOverlap,
+                format!(
+                    "edge e{i} {} -> {} is recorded in the territory of anchor {} ({r}) \
+                     but the territory walk does not traverse it",
+                    name_of(edge.caller),
+                    name_of(edge.callee),
+                    name_of(r)
+                ),
+            ));
+        }
+        for &r in eanchors2[i].difference(&stored_set) {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::AnchorCoverageGap,
+                format!(
+                    "edge e{i} {} -> {} is traversed by the territory walk of anchor {} \
+                     ({r}) but missing from its stored territory",
+                    name_of(edge.caller),
+                    name_of(edge.callee),
+                    name_of(r)
+                ),
+            ));
+        }
+    }
+
+    // ---- Symbolic CAV/ICC soundness (DP001/DP010) ----
+    if let Ok(order) = &topo {
+        check_intervals(program, plan, order, &nanchors2, &eanchors2, &mut report);
+    }
+
+    // ---- Instruction drift (DP001/DP003) ----
+    check_instructions(program, plan, &mut report);
+
+    // ---- Call-path tracking (DP020/DP021) ----
+    check_sids(program, plan, &mut report);
+
+    report.finish()
+}
+
+/// An independent implementation of the paper's `IdentifyTerritories`: for
+/// each anchor, a DFS from the anchor that skips excluded edges and
+/// retreats at other anchors, returning the covering anchors per node and
+/// per edge as ordered sets.
+fn recompute_territories(
+    graph: &deltapath_callgraph::CallGraph,
+    excluded: &HashSet<EdgeIx>,
+    is_anchor: &[bool],
+) -> (Vec<BTreeSet<NodeIx>>, Vec<BTreeSet<NodeIx>>) {
+    let n = graph.node_count();
+    let mut nanchors = vec![BTreeSet::new(); n];
+    let mut eanchors = vec![BTreeSet::new(); graph.edge_count()];
+    for i in 0..n {
+        if !is_anchor[i] {
+            continue;
+        }
+        let r = NodeIx::from_index(i);
+        let mut visited = vec![false; n];
+        visited[i] = true;
+        nanchors[i].insert(r);
+        let mut stack = vec![r];
+        while let Some(node) = stack.pop() {
+            if node != r && is_anchor[node.index()] {
+                continue; // Retreat: the anchor's out-edges start a new piece.
+            }
+            for &e in graph.out_edges(node) {
+                if excluded.contains(&e) {
+                    continue;
+                }
+                eanchors[e.index()].insert(r);
+                let t = graph.edge(e).callee;
+                if !visited[t.index()] {
+                    visited[t.index()] = true;
+                    nanchors[t.index()].insert(r);
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    (nanchors, eanchors)
+}
+
+/// The symbolic injectivity and ICC check.
+///
+/// Walking nodes in topological order, the encoding space of node `c`
+/// relative to anchor `r` is `space(c, r)`: `1` at the anchor itself,
+/// otherwise the supremum of the arrival intervals `[av(e), av(e) +
+/// space(caller(e), r))` over the territory's in-edges of `c`. Disjoint
+/// intervals mean distinct upstream pieces land on distinct IDs —
+/// injectivity, proven over *all* paths at once — and the supremum is
+/// exactly what Algorithm 2 stores as `ICC[c][r]`.
+fn check_intervals(
+    program: &Program,
+    plan: &EncodingPlan,
+    order: &[NodeIx],
+    nanchors2: &[BTreeSet<NodeIx>],
+    eanchors2: &[BTreeSet<NodeIx>],
+    report: &mut AuditReport,
+) {
+    let graph = plan.graph();
+    let enc = plan.encoding();
+    let cap = enc.width.capacity();
+    let name_of = |node: NodeIx| program.method_name(graph.method_of(node));
+    // space[node][anchor]: recomputed encoding-space bound.
+    let mut space: Vec<HashMap<NodeIx, u128>> = vec![HashMap::new(); graph.node_count()];
+
+    for &node in order {
+        for &r in &nanchors2[node.index()] {
+            if node == r {
+                space[node.index()].insert(r, 1);
+                continue;
+            }
+            // Arrival intervals `(start, end, site)` over the territory's
+            // in-edges, from the *stored* addition values.
+            let mut intervals: Vec<(u128, u128, usize)> = Vec::new();
+            for &e in graph.in_edges(node) {
+                if enc.excluded.contains(&e) || !eanchors2[e.index()].contains(&r) {
+                    continue;
+                }
+                let edge = graph.edge(e);
+                let Some(&av) = enc.site_av.get(&edge.site) else {
+                    report.diagnostics.push(Diagnostic::error(
+                        LintCode::CavIccInconsistent,
+                        format!(
+                            "encoded edge e{} {} -> {} has no addition value for its \
+                             site {}",
+                            e.index(),
+                            name_of(edge.caller),
+                            name_of(node),
+                            edge.site.index()
+                        ),
+                    ));
+                    continue;
+                };
+                let caller_space = space[edge.caller.index()].get(&r).copied().unwrap_or(1);
+                intervals.push((av, av.saturating_add(caller_space), edge.site.index()));
+            }
+            intervals.sort_unstable();
+            for pair in intervals.windows(2) {
+                let (s1, e1, site1) = pair[0];
+                let (s2, _, site2) = pair[1];
+                if s2 < e1 {
+                    report.diagnostics.push(Diagnostic::error(
+                        LintCode::CavIccInconsistent,
+                        format!(
+                            "arrival intervals at {} ({node}) relative to anchor {} ({r}) \
+                             overlap: site {site1} covers [{s1}, {e1}) and site {site2} \
+                             starts at {s2} — distinct contexts share an ID",
+                            name_of(node),
+                            name_of(r)
+                        ),
+                    ));
+                }
+            }
+            let bound = intervals.iter().map(|&(_, end, _)| end).max().unwrap_or(0);
+            space[node.index()].insert(r, bound);
+            if bound > cap {
+                report.diagnostics.push(Diagnostic::error(
+                    LintCode::WidthOverflowRisk,
+                    format!(
+                        "encoding space {bound} at {} ({node}) relative to anchor {} ({r}) \
+                         exceeds the {}-bit capacity {cap}: runtime IDs would wrap",
+                        name_of(node),
+                        name_of(r),
+                        enc.width.bits()
+                    ),
+                ));
+            }
+            if !enc.is_anchor[node.index()] {
+                match enc.icc[node.index()].get(&r) {
+                    None => report.diagnostics.push(Diagnostic::error(
+                        LintCode::CavIccInconsistent,
+                        format!(
+                            "{} ({node}) has no stored ICC relative to anchor {} ({r}) \
+                             despite being in its territory",
+                            name_of(node),
+                            name_of(r)
+                        ),
+                    )),
+                    Some(&stored) if stored != bound => {
+                        report.diagnostics.push(Diagnostic::error(
+                            LintCode::CavIccInconsistent,
+                            format!(
+                                "stored ICC[{}][{}] = {stored} but the addition values \
+                                 imply {bound}",
+                                name_of(node),
+                                name_of(r)
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Stored ICC entries the recomputed territories do not justify.
+        if enc.is_anchor[node.index()] {
+            let expected: HashMap<NodeIx, u128> = std::iter::once((node, 1)).collect();
+            if enc.icc[node.index()] != expected {
+                report.diagnostics.push(Diagnostic::error(
+                    LintCode::CavIccInconsistent,
+                    format!(
+                        "anchor {} ({node}) must store exactly ICC[self] = 1, found {:?}",
+                        name_of(node),
+                        sorted_icc(&enc.icc[node.index()])
+                    ),
+                ));
+            }
+        } else {
+            for &r in enc.icc[node.index()].keys() {
+                if !nanchors2[node.index()].contains(&r) {
+                    report.diagnostics.push(Diagnostic::error(
+                        LintCode::CavIccInconsistent,
+                        format!(
+                            "{} ({node}) stores an ICC relative to {} ({r}), whose \
+                             territory does not contain it",
+                            name_of(node),
+                            name_of(r)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Width bookkeeping (DP010).
+    if enc.max_icc > cap {
+        report.diagnostics.push(Diagnostic::error(
+            LintCode::WidthOverflowRisk,
+            format!(
+                "max_icc {} exceeds the {}-bit capacity {cap}",
+                enc.max_icc,
+                enc.width.bits()
+            ),
+        ));
+    }
+    let stored_max = enc
+        .icc
+        .iter()
+        .flat_map(|table| table.values().copied())
+        .max()
+        .unwrap_or(0);
+    if stored_max != enc.max_icc {
+        report.diagnostics.push(Diagnostic::warning(
+            LintCode::WidthOverflowRisk,
+            format!(
+                "max_icc bookkeeping is stale: recorded {}, tables hold {stored_max}",
+                enc.max_icc
+            ),
+        ));
+    }
+    if enc.width != plan.config().width {
+        report.diagnostics.push(Diagnostic::warning(
+            LintCode::WidthOverflowRisk,
+            format!(
+                "encoding width {:?} differs from the configured width {:?}",
+                enc.width,
+                plan.config().width
+            ),
+        ));
+    }
+    for (&site, &av) in &enc.site_av {
+        if av > cap {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::WidthOverflowRisk,
+                format!(
+                    "addition value {av} of site {} exceeds the capacity {cap}",
+                    site.index()
+                ),
+            ));
+        }
+    }
+}
+
+fn sorted_icc(table: &HashMap<NodeIx, u128>) -> Vec<(usize, u128)> {
+    let mut rows: Vec<(usize, u128)> = table.iter().map(|(r, &v)| (r.index(), v)).collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Per-site / per-entry instruction drift against the encoding tables
+/// (DP001) and the anchor set (DP003).
+fn check_instructions(program: &Program, plan: &EncodingPlan, report: &mut AuditReport) {
+    let graph = plan.graph();
+    let enc = plan.encoding();
+
+    for site in program.sites() {
+        let in_graph = graph.node_of(site.caller()).is_some();
+        match plan.site(site.id()) {
+            None if in_graph => report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "site {} in instrumented method {} has no site instruction",
+                    site.id().index(),
+                    program.method_name(site.caller())
+                ),
+            )),
+            Some(_) if !in_graph => report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "site {} carries an instruction but its caller {} is not in the \
+                     encoded graph",
+                    site.id().index(),
+                    program.method_name(site.caller())
+                ),
+            )),
+            _ => {}
+        }
+    }
+
+    for (site, instr) in plan.site_instrs() {
+        let stored_av = enc.site_av.get(&site).copied();
+        if instr.encoded != stored_av.is_some() {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "site {}: encoded flag is {} but the encoding {} an addition value \
+                     for it",
+                    site.index(),
+                    instr.encoded,
+                    if stored_av.is_some() { "has" } else { "lacks" }
+                ),
+            ));
+        }
+        let expected_av = stored_av.unwrap_or(0);
+        if u128::from(instr.av) != expected_av {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "site {}: instruction addition value {} drifted from the encoding \
+                     table's {expected_av}",
+                    site.index(),
+                    instr.av
+                ),
+            ));
+        }
+        if program.site(site).caller() != instr.caller {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "site {}: instruction caller {} disagrees with the program's {}",
+                    site.index(),
+                    program.method_name(instr.caller),
+                    program.method_name(program.site(site).caller())
+                ),
+            ));
+        }
+    }
+    // Sites the encoding assigned an addition value but no instruction
+    // delivers: the arithmetic would silently never execute.
+    for &site in enc.site_av.keys() {
+        if plan.site(site).is_none() {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "site {} has an addition value but no site instruction emits it",
+                    site.index()
+                ),
+            ));
+        }
+    }
+
+    let entry_methods: HashSet<deltapath_ir::MethodId> =
+        plan.entry_instrs().map(|(method, _)| method).collect();
+    for node in graph.nodes() {
+        let method = graph.method_of(node);
+        match plan.entry(method) {
+            None => report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "encoded method {} ({node}) has no entry instruction",
+                    program.method_name(method)
+                ),
+            )),
+            Some(instr) => {
+                if instr.is_anchor != enc.is_anchor[node.index()] {
+                    report.diagnostics.push(Diagnostic::error(
+                        LintCode::AnchorCoverageGap,
+                        format!(
+                            "entry instruction of {} ({node}) says is_anchor = {} but the \
+                             encoding says {}",
+                            program.method_name(method),
+                            instr.is_anchor,
+                            enc.is_anchor[node.index()]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for method in entry_methods {
+        if graph.node_of(method).is_none() {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::CavIccInconsistent,
+                format!(
+                    "entry instruction exists for {}, which is not in the encoded graph",
+                    program.method_name(method)
+                ),
+            ));
+        }
+    }
+}
+
+/// Call-path-tracking soundness: recompute the co-dispatch components with
+/// an independent union-find and compare the SID partition against them.
+fn check_sids(program: &Program, plan: &EncodingPlan, report: &mut AuditReport) {
+    let graph = plan.graph();
+    let sids = plan.sids();
+    let n = graph.node_count();
+
+    // Independent union-find (union by size, full path compression —
+    // deliberately a different formulation from `SidTable::compute`).
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        while parent[x] != root {
+            let next = parent[x];
+            parent[x] = root;
+            x = next;
+        }
+        root
+    }
+    for site in graph.instrumented_sites() {
+        let mut targets = graph
+            .site_edges(site)
+            .iter()
+            .map(|&e| graph.edge(e).callee.index());
+        let Some(first) = targets.next() else {
+            continue;
+        };
+        let mut a = find(&mut parent, first);
+        for t in targets {
+            let b = find(&mut parent, t);
+            if a != b {
+                let (big, small) = if size[a] >= size[b] { (a, b) } else { (b, a) };
+                parent[small] = big;
+                size[big] += size[small];
+                a = big;
+            }
+        }
+    }
+
+    let name_of = |i: usize| program.method_name(graph.method_of(NodeIx::from_index(i)));
+
+    // One representative per component; one component per SID.
+    let mut rep_of_component: HashMap<usize, usize> = HashMap::new();
+    let mut component_of_sid: HashMap<Sid, usize> = HashMap::new();
+    for i in 0..n {
+        let sid = sids.sid_of_node_index(i);
+        if sid == Sid::UNKNOWN {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::SidMismatch,
+                format!(
+                    "{} carries the reserved UNKNOWN SID: its entry check would reject \
+                     every benign path",
+                    name_of(i)
+                ),
+            ));
+            continue;
+        }
+        let root = find(&mut parent, i);
+        let rep = *rep_of_component.entry(root).or_insert(i);
+        // Intra-component disagreement: a benign co-dispatched path would
+        // false-alarm (DP021).
+        let rep_sid = sids.sid_of_node_index(rep);
+        if sid != rep_sid {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::SidMismatch,
+                format!(
+                    "co-dispatched methods {} ({rep_sid}) and {} ({sid}) carry different \
+                     SIDs: benign paths between them would be flagged hazardous",
+                    name_of(rep),
+                    name_of(i)
+                ),
+            ));
+        }
+        // Cross-component sharing: a hazardous unexpected call path between
+        // the two components would pass the entry check (DP020).
+        match component_of_sid.get(&sid) {
+            None => {
+                component_of_sid.insert(sid, root);
+            }
+            Some(&owner) if owner != root => {
+                let owner_rep = rep_of_component[&owner];
+                report.diagnostics.push(Diagnostic::error(
+                    LintCode::SidCollision,
+                    format!(
+                        "{} and {} must be distinguished at check sites but share {sid}: \
+                         a hazardous unexpected call path between them would go undetected",
+                        name_of(owner_rep),
+                        name_of(i)
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Table-internal and instruction drift (DP021).
+    for node in graph.nodes() {
+        let method = graph.method_of(node);
+        let table_sid = sids.sid_of_node_index(node.index());
+        if sids.sid_of_method(method) != Some(table_sid) {
+            report.diagnostics.push(Diagnostic::error(
+                LintCode::SidMismatch,
+                format!(
+                    "SID table disagrees with itself about {}: node lookup {table_sid}, \
+                     method lookup {:?}",
+                    program.method_name(method),
+                    sids.sid_of_method(method)
+                ),
+            ));
+        }
+        if let Some(instr) = plan.entry(method) {
+            if instr.sid != table_sid {
+                report.diagnostics.push(Diagnostic::error(
+                    LintCode::SidMismatch,
+                    format!(
+                        "entry instruction of {} carries {} but the SID table says \
+                         {table_sid}",
+                        program.method_name(method),
+                        instr.sid
+                    ),
+                ));
+            }
+        }
+    }
+    for (site, instr) in plan.site_instrs() {
+        let edges = graph.site_edges(site);
+        if edges.is_empty() {
+            if instr.expected_sid != Sid::UNKNOWN {
+                report.diagnostics.push(Diagnostic::error(
+                    LintCode::SidMismatch,
+                    format!(
+                        "site {} has no encoded target yet expects {} instead of the \
+                         reserved UNKNOWN SID",
+                        site.index(),
+                        instr.expected_sid
+                    ),
+                ));
+            }
+            continue;
+        }
+        for &e in edges {
+            let callee = graph.edge(e).callee;
+            let target_sid = sids.sid_of_node_index(callee.index());
+            if instr.expected_sid != target_sid {
+                report.diagnostics.push(Diagnostic::error(
+                    LintCode::SidMismatch,
+                    format!(
+                        "site {} expects {} but dispatch target {} carries {target_sid}: \
+                         the benign path would be flagged hazardous",
+                        site.index(),
+                        instr.expected_sid,
+                        program.method_name(graph.method_of(callee))
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_core::PlanConfig;
+    use deltapath_ir::{MethodKind, ProgramBuilder, Receiver};
+
+    fn diamond_program() -> Program {
+        let mut b = ProgramBuilder::new("audit");
+        let a = b.add_class("A", None);
+        let c1 = b.add_class("C1", Some(a));
+        let c2 = b.add_class("C2", Some(a));
+        b.method(a, "f", MethodKind::Virtual)
+            .body(|f| {
+                f.call(a, "leaf");
+            })
+            .finish();
+        b.method(c1, "f", MethodKind::Virtual)
+            .body(|f| {
+                f.call(a, "leaf");
+                f.call(a, "leaf");
+            })
+            .finish();
+        b.method(c2, "f", MethodKind::Virtual).finish();
+        b.method(a, "leaf", MethodKind::Static).finish();
+        let main = b
+            .method(a, "main", MethodKind::Static)
+            .body(|f| {
+                f.vcall(a, "f", Receiver::Cycle(vec![a, c1, c2]));
+            })
+            .finish();
+        b.entry(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clean_plan_audits_clean() {
+        let p = diamond_program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let report = audit_plan(&p, &plan);
+        assert!(
+            report.is_clean(),
+            "expected a clean audit, got:\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(report.nodes, plan.graph().node_count());
+        assert_eq!(report.anchors, plan.encoding().anchors.len());
+    }
+
+    #[test]
+    fn zeroed_addition_value_breaks_injectivity() {
+        let p = diamond_program();
+        let mut plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        // Zero every addition value: all arrival intervals collapse onto
+        // [0, ..) and must overlap somewhere (C1.f has two leaf calls).
+        let sites: Vec<_> = plan.encoding().site_av.keys().copied().collect();
+        for site in &sites {
+            plan.encoding_mut().site_av.insert(*site, 0);
+            if let Some(instr) = plan.site_instr_mut(*site) {
+                instr.av = 0;
+            }
+        }
+        let report = audit_plan(&p, &plan);
+        assert!(report.has_errors());
+        assert!(report.codes().contains("DP001"));
+    }
+
+    #[test]
+    fn shape_corruption_is_reported_not_a_panic() {
+        let p = diamond_program();
+        let mut plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        plan.encoding_mut().icc.pop();
+        let report = audit_plan(&p, &plan);
+        assert!(report.has_errors());
+        assert_eq!(
+            report.codes().into_iter().collect::<Vec<_>>(),
+            vec!["DP001"]
+        );
+    }
+}

@@ -418,6 +418,51 @@ impl EncodingPlan {
         self.back_edge_calls.contains(&(site, callee))
     }
 
+    /// All per-site instructions, keyed by site (unordered).
+    pub fn site_instrs(&self) -> impl Iterator<Item = (SiteId, &SiteInstr)> + '_ {
+        self.sites.iter().map(|(&s, i)| (s, i))
+    }
+
+    /// All per-entry instructions, keyed by method (unordered).
+    pub fn entry_instrs(&self) -> impl Iterator<Item = (MethodId, &EntryInstr)> + '_ {
+        self.entries.iter().map(|(&m, i)| (m, i))
+    }
+
+    /// All `(site, callee)` pairs classified as recursion back-edge calls
+    /// (unordered).
+    pub fn back_edge_call_pairs(&self) -> impl Iterator<Item = (SiteId, MethodId)> + '_ {
+        self.back_edge_calls.iter().copied()
+    }
+
+    /// Mutable access to the Algorithm 2 tables.
+    ///
+    /// This deliberately breaks the plan's internal consistency guarantees:
+    /// it exists so fault-injection tests (and plan-transformation tooling
+    /// that re-validates afterwards) can corrupt individual tables and
+    /// assert the static auditor catches each corruption. Production code
+    /// never mutates an analyzed plan.
+    pub fn encoding_mut(&mut self) -> &mut Encoding {
+        &mut self.encoding
+    }
+
+    /// Mutable access to the SID table (see
+    /// [`encoding_mut`](EncodingPlan::encoding_mut) for the intended use).
+    pub fn sids_mut(&mut self) -> &mut SidTable {
+        &mut self.sids
+    }
+
+    /// Mutable access to one site instruction (see
+    /// [`encoding_mut`](EncodingPlan::encoding_mut) for the intended use).
+    pub fn site_instr_mut(&mut self, site: SiteId) -> Option<&mut SiteInstr> {
+        self.sites.get_mut(&site)
+    }
+
+    /// Mutable access to one entry instruction (see
+    /// [`encoding_mut`](EncodingPlan::encoding_mut) for the intended use).
+    pub fn entry_instr_mut(&mut self, method: MethodId) -> Option<&mut EntryInstr> {
+        self.entries.get_mut(&method)
+    }
+
     /// All call sites carrying any instrumentation (ID arithmetic and/or
     /// call-path-tracking expectation saves) — i.e. every site inside an
     /// instrumented method.

@@ -133,6 +133,27 @@ impl SidTable {
     pub fn set_count(&self) -> usize {
         self.set_count
     }
+
+    /// Rewrites every occurrence of `from` to `to`, merging the two sets.
+    ///
+    /// This deliberately coarsens the partition — methods that must be
+    /// distinguished at a check site may end up sharing a SID — so it is a
+    /// fault-injection hook for the static auditor's `DP020 SidCollision`
+    /// check, not a production operation.
+    pub fn alias_sid(&mut self, from: Sid, to: Sid) {
+        for sid in &mut self.sid_of_node {
+            if *sid == from {
+                *sid = to;
+            }
+        }
+        for sid in self.method_sids.values_mut() {
+            if *sid == from {
+                *sid = to;
+            }
+        }
+        let distinct: std::collections::HashSet<Sid> = self.sid_of_node.iter().copied().collect();
+        self.set_count = distinct.len();
+    }
 }
 
 #[cfg(test)]

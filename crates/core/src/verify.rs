@@ -9,7 +9,7 @@
 //!    original method sequence;
 //! 2. **Injectivity**: distinct contexts produce distinct encoded values.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -55,6 +55,12 @@ pub enum VerifyFailure {
     Collision {
         /// The shared encoded value.
         context: EncodedContext,
+        /// The method sequence of the first context that produced the
+        /// value.
+        first: Vec<MethodId>,
+        /// The method sequence of the second, distinct context that
+        /// collided with it.
+        second: Vec<MethodId>,
     },
 }
 
@@ -72,8 +78,15 @@ impl fmt::Display for VerifyFailure {
                 f,
                 "decode of {context} returned {decoded:?}, expected {expected:?}"
             ),
-            VerifyFailure::Collision { context } => {
-                write!(f, "two distinct contexts encoded to {context}")
+            VerifyFailure::Collision {
+                context,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "distinct contexts {first:?} and {second:?} both encoded to {context}"
+                )
             }
         }
     }
@@ -166,9 +179,29 @@ pub fn verify_plan(
 ) -> Result<VerifyReport, VerifyFailure> {
     let (paths, truncated) = enumerate_paths(plan, back_edge_budget, max_contexts);
     let decoder = plan.decoder();
-    let mut seen: HashSet<EncodedContext> = HashSet::new();
+    // Map each encoded value to the method sequence that produced it, so a
+    // collision report can name *both* colliding contexts.
+    let mut seen: HashMap<EncodedContext, Vec<MethodId>> = HashMap::new();
     for (root, path) in &paths {
         let (context, expected) = simulate_path(plan, *root, path);
+        // Injectivity first: when two distinct executions produce the same
+        // encoded context, reporting the colliding pair is the root cause —
+        // the decode failure that would also occur is only its symptom.
+        match seen.entry(context.clone()) {
+            std::collections::hash_map::Entry::Occupied(prev) => {
+                if prev.get() != &expected {
+                    return Err(VerifyFailure::Collision {
+                        context,
+                        first: prev.get().clone(),
+                        second: expected,
+                    });
+                }
+                continue; // Same method sequence again (e.g. via another site order).
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(expected.clone());
+            }
+        }
         match decoder.decode(&context) {
             Ok(decoded) => {
                 if decoded != expected {
@@ -180,9 +213,6 @@ pub fn verify_plan(
                 }
             }
             Err(error) => return Err(VerifyFailure::Decode { context, error }),
-        }
-        if !seen.insert(context.clone()) {
-            return Err(VerifyFailure::Collision { context });
         }
     }
     Ok(VerifyReport {

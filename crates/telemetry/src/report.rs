@@ -25,6 +25,13 @@ use crate::trace::TraceEvent;
 /// on any incompatible field change.
 pub const RUN_REPORT_SCHEMA: &str = "deltapath.run_report.v1";
 
+/// Schema identifier stamped into static-audit lint reports (`deltapath
+/// lint --json`, `deltapath-analysis`). Lives here next to
+/// [`RUN_REPORT_SCHEMA`] so every machine-readable export schema the
+/// workspace emits is declared in one place. Bump the trailing version on
+/// any incompatible field change.
+pub const LINT_REPORT_SCHEMA: &str = "deltapath.lint.v1";
+
 /// A point-in-time snapshot of one histogram.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {

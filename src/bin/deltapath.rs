@@ -10,6 +10,7 @@
 //! deltapath report <benchmark> [--encoder NAME]   # machine-readable run report (JSON)
 //! deltapath report --from FILE                    # re-emit a saved report (round-trip)
 //! deltapath trace <benchmark> [--encoder NAME]    # the same report as JSON lines
+//! deltapath lint <benchmark>|--all [--json] [--deny-warnings] [--scope app|all] [--width BITS]
 //! ```
 
 use std::collections::HashMap;
@@ -34,9 +35,10 @@ fn main() -> ExitCode {
         Some("decode") => cmd_decode(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: deltapath <list|inspect|dot|run|decode|report|trace> [benchmark] [options]\n\
+                "usage: deltapath <list|inspect|dot|run|decode|report|trace|lint> [benchmark] [options]\n\
                  \n\
                  list                      list the bundled SPECjvm2008-like benchmarks\n\
                  inspect <bench>           static characteristics and encoding plan summary\n\
@@ -49,7 +51,12 @@ fn main() -> ExitCode {
                  report <bench>            run with telemetry; print the run report as JSON\n\
                  \x20   --encoder NAME     as for `run` (default: deltapath)\n\
                  \x20   --from FILE        re-emit a saved report (JSON or JSONL) instead\n\
-                 trace <bench>             like `report`, but printed as JSON lines"
+                 trace <bench>             like `report`, but printed as JSON lines\n\
+                 lint <bench>|--all        statically audit the encoding plan (DP0xx diagnostics)\n\
+                 \x20   --json             machine-readable report (schema deltapath.lint.v1)\n\
+                 \x20   --deny-warnings    exit with failure on warnings, not just errors\n\
+                 \x20   --scope app|all    selective vs full encoding (default: app)\n\
+                 \x20   --width BITS       encoding integer width (default: 64)"
             );
             return ExitCode::FAILURE;
         }
@@ -85,6 +92,16 @@ fn scope_of(args: &[String]) -> Result<ScopeFilter, String> {
     }
 }
 
+fn width_of(args: &[String]) -> Result<EncodingWidth, String> {
+    match flag(args, "--width") {
+        None => Ok(EncodingWidth::U64),
+        Some(w) => match w.parse::<u8>() {
+            Ok(bits @ 1..=127) => Ok(EncodingWidth::new(bits)),
+            _ => Err(format!("bad --width value {w:?} (use 1..=127)")),
+        },
+    }
+}
+
 fn cmd_list() -> Result<(), String> {
     println!("bundled benchmarks (seeded synthetic stand-ins for SPECjvm2008):");
     for bench in suite() {
@@ -103,13 +120,9 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let p = load(args)?;
     let scope = scope_of(args)?;
-    let bits: u8 = match flag(args, "--width") {
-        Some(w) => w.parse().map_err(|_| "bad --width value".to_string())?,
-        None => 64,
-    };
     let config = PlanConfig::default()
         .with_scope(scope)
-        .with_width(EncodingWidth::new(bits));
+        .with_width(width_of(args)?);
     let graph = CallGraph::build(
         &p,
         &GraphConfig {
@@ -358,6 +371,59 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Statically audits one benchmark's (or every benchmark's) encoding plan
+/// with [`deltapath::audit_plan`] and reports the `DP0xx` diagnostics.
+/// Exits with failure on any error-severity finding, or on any finding at
+/// all under `--deny-warnings`.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let scope = scope_of(args)?;
+    let config = PlanConfig::default()
+        .with_scope(scope)
+        .with_width(width_of(args)?);
+
+    let programs: Vec<Program> = if args.iter().any(|a| a == "--all") {
+        suite().iter().map(|b| b.program()).collect()
+    } else {
+        vec![load(args)?]
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for p in &programs {
+        let plan = EncodingPlan::analyze(p, &config)
+            .map_err(|e| format!("{}: plan analysis failed: {e}", p.name()))?;
+        let report = deltapath::audit_plan(p, &plan);
+        errors += report.errors();
+        warnings += report.warnings();
+        if json {
+            println!("{}", report.to_json(p.name()));
+        } else {
+            for d in &report.diagnostics {
+                println!("{}: {d}", p.name());
+            }
+            println!(
+                "{}: {} nodes, {} edges, {} anchors — {} errors, {} warnings",
+                p.name(),
+                report.nodes,
+                report.edges,
+                report.anchors,
+                report.errors(),
+                report.warnings()
+            );
+        }
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        Err(format!(
+            "lint failed: {errors} errors, {warnings} warnings across {} plans",
+            programs.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +458,19 @@ mod tests {
             ScopeFilter::All
         );
         assert!(scope_of(&args(&["x", "--scope", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn width_parsing() {
+        assert_eq!(width_of(&args(&["x"])).unwrap(), EncodingWidth::U64);
+        assert_eq!(
+            width_of(&args(&["x", "--width", "32"])).unwrap(),
+            EncodingWidth::U32
+        );
+        // Out-of-range or garbage widths are errors, not panics.
+        assert!(width_of(&args(&["x", "--width", "0"])).is_err());
+        assert!(width_of(&args(&["x", "--width", "200"])).is_err());
+        assert!(width_of(&args(&["x", "--width", "wide"])).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`ir`] | the object-oriented program representation and builder |
 //! | [`callgraph`] | CHA/RTA/exact call-graph construction, SCCs, reachability |
 //! | [`core`] | the encoding algorithms, plans, runtime state machine, decoder |
+//! | [`analysis`] | the static plan auditor: symbolic soundness checks, `DP0xx` lints |
 //! | [`runtime`] | the instrumented interpreter, encoder hooks, cost metering |
 //! | [`telemetry`] | std-only counters, histograms, event traces, JSON run reports |
 //! | [`baselines`] | PCC, Breadcrumbs-lite, calling-context tree |
@@ -80,6 +81,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use deltapath_analysis as analysis;
 pub use deltapath_baselines as baselines;
 pub use deltapath_callgraph as callgraph;
 pub use deltapath_core as core;
@@ -88,6 +90,7 @@ pub use deltapath_runtime as runtime;
 pub use deltapath_telemetry as telemetry;
 pub use deltapath_workloads as workloads;
 
+pub use deltapath_analysis::{audit_plan, AuditReport, Diagnostic, LintCode, Severity};
 pub use deltapath_baselines::{
     BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth,
 };

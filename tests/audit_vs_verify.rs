@@ -1,0 +1,120 @@
+//! Static auditor vs dynamic verifier agreement.
+//!
+//! The static auditor (`deltapath::audit_plan`) proves plan soundness
+//! symbolically; the dynamic verifier (`deltapath::core::verify`) proves it
+//! by enumerating and replaying bounded path sets. On every bundled
+//! workload the two must agree: the audit comes back clean, and the
+//! verifier finds no round-trip or injectivity failure among the contexts
+//! it enumerates. A clean audit is the stronger statement (it covers *all*
+//! paths), so any divergence here means one of the two checkers is wrong —
+//! which is exactly what this suite exists to catch.
+
+use deltapath::core::verify::verify_plan;
+use deltapath::workloads::figures::{figure4_program, figure6_program, figure7_program};
+use deltapath::workloads::specjvm::suite;
+use deltapath::workloads::synthetic::{generate, SyntheticConfig};
+use deltapath::{audit_plan, EncodingPlan, EncodingWidth, PlanConfig, Program, ScopeFilter};
+
+const BACK_EDGE_BUDGET: usize = 1;
+// Bounded: the audit is the all-paths statement; the dynamic replay only
+// needs enough coverage to catch a checker bug, and it runs per workload ×
+// scope in debug CI, so the budget is deliberately modest.
+const MAX_CONTEXTS: usize = 2_000;
+
+/// Audits and verifies one `(program, config)` pair, asserting agreement.
+fn check(p: &Program, config: &PlanConfig, label: &str) {
+    let plan = EncodingPlan::analyze(p, config).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let report = audit_plan(p, &plan);
+    assert!(
+        report.is_clean(),
+        "{label}: static audit found problems:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let verified = verify_plan(&plan, BACK_EDGE_BUDGET, MAX_CONTEXTS)
+        .unwrap_or_else(|e| panic!("{label}: dynamic verification failed: {e}"));
+    assert_eq!(
+        verified.contexts, verified.unique,
+        "{label}: verifier saw duplicate encodings"
+    );
+    assert!(verified.contexts > 0, "{label}: nothing was verified");
+}
+
+#[test]
+fn specjvm_suite_app_scope() {
+    let config = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
+    for bench in suite() {
+        check(&bench.program(), &config, bench.name);
+    }
+}
+
+#[test]
+fn specjvm_suite_full_scope() {
+    let config = PlanConfig::default().with_scope(ScopeFilter::All);
+    for bench in suite() {
+        check(&bench.program(), &config, bench.name);
+    }
+}
+
+#[test]
+fn paper_figures() {
+    let config = PlanConfig::default();
+    check(&figure4_program(), &config, "figure4");
+    check(&figure6_program(), &config, "figure6");
+    check(&figure7_program(), &config, "figure7");
+}
+
+#[test]
+fn synthetic_programs_both_scopes() {
+    for seed in [1u64, 7, 42] {
+        let p = generate(&SyntheticConfig {
+            name: format!("audit-syn-{seed}"),
+            seed,
+            ..SyntheticConfig::default()
+        });
+        check(
+            &p,
+            &PlanConfig::default().with_scope(ScopeFilter::All),
+            &format!("synthetic seed {seed} (all)"),
+        );
+        check(
+            &p,
+            &PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly),
+            &format!("synthetic seed {seed} (app)"),
+        );
+    }
+}
+
+#[test]
+fn narrow_width_with_overflow_anchors() {
+    // A narrow width forces the overflow-restart loop to place extra
+    // anchors; the audit must hold for the subdivided encoding too.
+    let p = generate(&SyntheticConfig {
+        name: "audit-narrow".to_owned(),
+        seed: 3,
+        ..SyntheticConfig::default()
+    });
+    let config = PlanConfig::default().with_width(EncodingWidth::new(6));
+    let plan = EncodingPlan::analyze(&p, &config).expect("narrow-width plan");
+    assert!(
+        plan.encoding().overflow_anchor_count() > 0,
+        "expected the 6-bit width to force overflow anchors"
+    );
+    check(&p, &config, "narrow width 6");
+}
+
+#[test]
+fn minimal_cpt_audits_clean() {
+    // Minimal call-path tracking changes the instruction tables (tracked /
+    // check_sid flags) but must not disturb any audited invariant.
+    let config = PlanConfig::default()
+        .with_scope(ScopeFilter::ApplicationOnly)
+        .with_cpt_minimal();
+    for bench in suite().into_iter().take(4) {
+        check(&bench.program(), &config, bench.name);
+    }
+}
