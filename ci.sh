@@ -30,6 +30,19 @@ else
     step cargo run --quiet --bin deltapath -- lint --all --deny-warnings
 fi
 
+# Encoder hot-path smoke: replay identical hook streams through the
+# map-based and the compiled (table-driven) encoders; the run fails if
+# the compiled encoder is slower, and double-checks capture-for-capture
+# equality on the way (full numbers: `encoder_hotpath --out results`).
+# The criterion benches must at least still compile (they only *run*
+# with the non-default `bench` feature restored from a networked
+# checkout, hence --no-run stays feature-less here).
+if [ "${1:-}" != "fast" ]; then
+    step cargo run --quiet --release -p deltapath-bench --bin encoder_hotpath -- \
+        --smoke --out target/bench-smoke
+    step cargo bench --no-run --workspace
+fi
+
 # The suite must pass under serial test execution too: concurrency bugs
 # (and tests accidentally depending on parallel scheduling) surface as
 # differences between the two runs.

@@ -30,7 +30,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use deltapath_callgraph::{
     reachable_from, topological_order, EdgeIx, NodeIx, StronglyConnectedComponents,
 };
-use deltapath_core::{EncodingPlan, Sid};
+use deltapath_core::{CompiledPlan, EncodingPlan, Sid};
 use deltapath_ir::Program;
 
 use crate::diag::{AuditReport, Diagnostic, LintCode};
@@ -315,7 +315,111 @@ pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
     // ---- Call-path tracking (DP020/DP021) ----
     check_sids(program, plan, &mut report);
 
+    // ---- Compiled dispatch-table lowering (DP040) ----
+    // Lower the plan here and cross-check the image: a divergence means the
+    // lowering itself is broken (stale images held by callers are checked
+    // with `audit_compiled` directly).
+    report
+        .diagnostics
+        .extend(audit_compiled(plan, &plan.compile()));
+
     report.finish()
+}
+
+/// Cross-checks a [`CompiledPlan`] against the map-based plan it claims to
+/// be a lowering of, returning one `DP040` error per divergence (empty when
+/// the image is faithful).
+///
+/// [`audit_plan`] runs this against a fresh lowering to validate the
+/// compiler; call it directly against a *held* image to detect staleness —
+/// a compiled plan kept across a re-analysis (dynamic class loading)
+/// diverges from the new plan and must be rebuilt.
+pub fn audit_compiled(plan: &EncodingPlan, compiled: &CompiledPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    fn divergence(message: String) -> Diagnostic {
+        Diagnostic::error(LintCode::CompiledPlanDivergence, message)
+    }
+    let mut push = |message: String| diags.push(divergence(message));
+
+    if compiled.cpt() != plan.config().cpt {
+        push(format!(
+            "compiled image was lowered with cpt={} but the plan has cpt={}",
+            compiled.cpt(),
+            plan.config().cpt
+        ));
+    }
+    if compiled.entry_method() != plan.entry_method() {
+        push(format!(
+            "compiled image claims entry method {} but the plan enters at {}",
+            compiled.entry_method(),
+            plan.entry_method()
+        ));
+    }
+
+    // Site instructions, both directions: the re-expanded word must equal
+    // the plan's instruction, and no word may be present without one.
+    for (site, instr) in plan.site_instrs() {
+        match compiled.site_instr(site) {
+            None => push(format!(
+                "site {site} is in the plan but absent from the tables"
+            )),
+            Some(got) if got != *instr => push(format!(
+                "site {site} re-expands to {got:?} but the plan holds {instr:?}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for site in compiled.present_sites() {
+        if plan.site(site).is_none() {
+            push(format!(
+                "site {site} is present in the tables but not in the plan (phantom entry)"
+            ));
+        }
+    }
+
+    for (method, instr) in plan.entry_instrs() {
+        match compiled.entry_instr(method) {
+            None => push(format!(
+                "entry of method {method} is in the plan but absent from the tables"
+            )),
+            Some(got) if got != *instr => push(format!(
+                "entry of method {method} re-expands to {got:?} but the plan holds {instr:?}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for method in compiled.present_entries() {
+        if plan.entry(method).is_none() {
+            push(format!(
+                "entry of method {method} is present in the tables but not in the plan \
+                 (phantom entry)"
+            ));
+        }
+    }
+
+    let want: BTreeSet<_> = plan.back_edge_call_pairs().collect();
+    let got: BTreeSet<_> = compiled.back_edge_call_pairs().collect();
+    for &(site, method) in want.difference(&got) {
+        push(format!(
+            "back-edge call ({site}, {method}) was lost in lowering: the table-driven \
+             encoder would miss the recursion push"
+        ));
+    }
+    for &(site, method) in got.difference(&want) {
+        push(format!(
+            "back-edge call ({site}, {method}) was invented by the tables: the \
+             table-driven encoder would push a spurious recursion frame"
+        ));
+    }
+
+    // Catch-all: the canonical instruction dumps must match byte for byte
+    // (guards any rendering-relevant field the itemized checks miss).
+    if diags.is_empty() && compiled.instruction_fingerprint() != plan.instruction_fingerprint() {
+        diags.push(divergence(
+            "instruction fingerprints differ between the plan and its compiled image".to_owned(),
+        ));
+    }
+    diags
 }
 
 /// An independent implementation of the paper's `IdentifyTerritories`: for

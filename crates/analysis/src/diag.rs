@@ -38,7 +38,8 @@ impl fmt::Display for Severity {
 ///
 /// Codes are grouped by subsystem: `DP00x` encoding-table soundness
 /// (Algorithms 1 and 2), `DP01x` width/overflow, `DP02x` call-path
-/// tracking (SIDs), `DP03x` call-graph hygiene.
+/// tracking (SIDs), `DP03x` call-graph hygiene, `DP04x` compiled
+/// dispatch-table lowering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// `DP001` — the CAV/ICC tables are inconsistent with the addition
@@ -82,6 +83,14 @@ pub enum LintCode {
     /// `DP032` — an edge touches an unreachable node: it can never be
     /// taken, yet still occupies territory and SID tables.
     DeadEdge,
+    /// `DP040` — a compiled plan's dense dispatch tables disagree with the
+    /// map-based plan they were lowered from: a site/entry instruction is
+    /// missing, phantom, or re-expands differently, a back-edge pair was
+    /// lost or invented, or the CPT/entry-method header drifted. The
+    /// table-driven encoder would diverge from the reference oracle —
+    /// typically a stale image kept across a plan rebuild (dynamic class
+    /// loading).
+    CompiledPlanDivergence,
 }
 
 impl LintCode {
@@ -97,6 +106,7 @@ impl LintCode {
             LintCode::UnreachableNode => "DP030",
             LintCode::UnclassifiedBackEdge => "DP031",
             LintCode::DeadEdge => "DP032",
+            LintCode::CompiledPlanDivergence => "DP040",
         }
     }
 
@@ -112,6 +122,7 @@ impl LintCode {
             LintCode::UnreachableNode => "UnreachableNode",
             LintCode::UnclassifiedBackEdge => "UnclassifiedBackEdge",
             LintCode::DeadEdge => "DeadEdge",
+            LintCode::CompiledPlanDivergence => "CompiledPlanDivergence",
         }
     }
 }
@@ -266,6 +277,7 @@ mod tests {
         assert_eq!(LintCode::UnreachableNode.code(), "DP030");
         assert_eq!(LintCode::UnclassifiedBackEdge.code(), "DP031");
         assert_eq!(LintCode::DeadEdge.code(), "DP032");
+        assert_eq!(LintCode::CompiledPlanDivergence.code(), "DP040");
     }
 
     #[test]

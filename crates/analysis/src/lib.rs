@@ -18,7 +18,12 @@
 //!   components, so hazardous unexpected call paths cannot slip through a
 //!   check site (`DP020`, `DP021`);
 //! * **Call-graph hygiene** — unreachable nodes, dead edges and
-//!   mis-classified back edges (`DP030`, `DP031`, `DP032`).
+//!   mis-classified back edges (`DP030`, `DP031`, `DP032`);
+//! * **Compiled dispatch tables** — a
+//!   [`CompiledPlan`](deltapath_core::CompiledPlan) image agrees
+//!   instruction-for-instruction with the plan it was lowered from
+//!   (`DP040`; [`audit_compiled`] also catches images held stale across a
+//!   re-analysis).
 //!
 //! Reports serialize to JSON under the `deltapath.lint.v1` schema via the
 //! telemetry crate's serializer; the `deltapath lint` CLI subcommand is the
@@ -55,5 +60,5 @@
 mod audit;
 mod diag;
 
-pub use audit::audit_plan;
+pub use audit::{audit_compiled, audit_plan};
 pub use diag::{AuditReport, Diagnostic, LintCode, Severity};

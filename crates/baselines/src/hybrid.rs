@@ -389,7 +389,7 @@ impl ContextEncoder for HybridEncoder<'_> {
             HybridCallToken::Delta(t) => {
                 if let Some((_, state)) = self.regions.last_mut() {
                     self.counts.subs += 1;
-                    state.on_return(&self.plan.delta_plan, t);
+                    state.on_return(t);
                 }
             }
             HybridCallToken::Nothing => {}

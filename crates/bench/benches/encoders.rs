@@ -36,14 +36,14 @@ fn call_return_pair(c: &mut Criterion) {
         let mut state = DeltaState::start(plan.entry_method());
         b.iter(|| {
             let token = state.on_call(&plan, black_box(site));
-            state.on_return(&plan, token);
+            state.on_return(token);
         });
     });
     group.bench_function("deltapath_add_sub_nocpt", |b| {
         let mut state = DeltaState::start(plan_nocpt.entry_method());
         b.iter(|| {
             let token = state.on_call(&plan_nocpt, black_box(site));
-            state.on_return(&plan_nocpt, token);
+            state.on_return(token);
         });
     });
     group.bench_function("pcc_hash", |b| {
@@ -78,7 +78,7 @@ fn anchor_push_pop(c: &mut Criterion) {
             let token = state.on_call(&plan, via);
             let outcome = state.on_entry(&plan, black_box(anchor_method), Some(via));
             state.on_exit(outcome);
-            state.on_return(&plan, token);
+            state.on_return(token);
         });
     });
 }

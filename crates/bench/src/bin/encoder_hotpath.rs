@@ -1,0 +1,372 @@
+//! Encoder hot-path throughput: the table-driven [`CompiledDeltaEncoder`]
+//! vs the map-based [`DeltaEncoder`], hook for hook.
+//!
+//! ```text
+//! encoder_hotpath [--out DIR] [--repeat N] [--smoke]
+//! ```
+//!
+//! Each workload is executed once under a recording encoder that harvests
+//! the exact instrumentation hook stream (call / return / entry / exit /
+//! observe, with call-site and method operands). The stream is then
+//! replayed — LIFO token stacks standing in for the interpreter's native
+//! stack — into both encoders, first once for *verification* (captures,
+//! abstract op counts and UCP detections must be identical) and then in
+//! timed best-of-N passes. This isolates pure hook dispatch cost: the
+//! interpreter, the collector and event materialization are all off the
+//! clock.
+//!
+//! One `deltapath.perf.v1` record per (workload, encoder) lands in
+//! `BENCH_encoder_hotpath.json`:
+//!
+//! * `calls` — hooks replayed per timed pass, `base_cost` — elapsed
+//!   nanoseconds of the best pass;
+//! * `normalized_speed` — hook throughput relative to the map-based
+//!   encoder on the same workload (map-based rows are 1.0; captures per
+//!   second scale by the same ratio, since both encoders replay the
+//!   identical stream);
+//! * `unique_contexts` / `max_depth` — from the verification replay.
+//!
+//! `--smoke` is the CI gate: tiny repeat counts, and the run fails unless
+//! the compiled encoder is at least as fast as the map-based one (with a
+//! small slack for timer noise).
+
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use deltapath_bench::perf::{PerfRecord, PerfSuite};
+use deltapath_callgraph::ScopeFilter;
+use deltapath_core::{EncodingPlan, PlanConfig};
+use deltapath_ir::{MethodId, Program, SiteId};
+use deltapath_runtime::{
+    Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder, DeltaEncoder, NullCollector,
+    OpCounts, Vm, VmConfig,
+};
+use deltapath_workloads::specjvm;
+use deltapath_workloads::synthetic::{generate, SyntheticConfig};
+
+/// One harvested instrumentation hook, replayed verbatim.
+#[derive(Clone, Copy)]
+enum Hook {
+    Call(SiteId),
+    Return,
+    Entry(MethodId, Option<SiteId>),
+    Exit(MethodId),
+    Observe(MethodId),
+}
+
+/// Records the hook stream of one run; the VM drives it like any encoder.
+#[derive(Default)]
+struct HookTrace {
+    hooks: Vec<Hook>,
+}
+
+impl ContextEncoder for HookTrace {
+    type CallToken = ();
+    type EntryToken = ();
+
+    fn thread_start(&mut self, _entry: MethodId) {}
+
+    fn on_call(&mut self, site: SiteId) {
+        self.hooks.push(Hook::Call(site));
+    }
+
+    fn on_return(&mut self, _site: SiteId, _token: ()) {
+        self.hooks.push(Hook::Return);
+    }
+
+    fn on_entry(&mut self, method: MethodId, via_site: Option<SiteId>) {
+        self.hooks.push(Hook::Entry(method, via_site));
+    }
+
+    fn on_exit(&mut self, method: MethodId, _token: ()) {
+        self.hooks.push(Hook::Exit(method));
+    }
+
+    fn observe(&mut self, at: MethodId) -> Capture {
+        self.hooks.push(Hook::Observe(at));
+        Capture::None
+    }
+
+    fn counts(&self) -> OpCounts {
+        OpCounts::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "hook-trace"
+    }
+}
+
+/// Replays the stream into `encoder`, pushing every capture into `out`.
+/// Call and entry tokens are kept on LIFO stacks, exactly as the
+/// interpreter's native stack would carry them. Truncated streams are
+/// fine: `thread_start` resets the encoder, and a prefix of a valid trace
+/// never pops an un-pushed token.
+fn replay<E: ContextEncoder>(
+    entry: MethodId,
+    hooks: &[Hook],
+    encoder: &mut E,
+    out: &mut Vec<Capture>,
+) {
+    encoder.thread_start(entry);
+    let mut calls: Vec<(SiteId, E::CallToken)> = Vec::with_capacity(256);
+    let mut entries: Vec<(MethodId, E::EntryToken)> = Vec::with_capacity(256);
+    for &hook in hooks {
+        match hook {
+            Hook::Call(site) => calls.push((site, encoder.on_call(site))),
+            Hook::Return => {
+                let (site, token) = calls.pop().expect("balanced trace prefix");
+                encoder.on_return(site, token);
+            }
+            Hook::Entry(method, via) => entries.push((method, encoder.on_entry(method, via))),
+            Hook::Exit(method) => {
+                let (entered, token) = entries.pop().expect("balanced trace prefix");
+                debug_assert_eq!(entered, method);
+                encoder.on_exit(method, token);
+            }
+            Hook::Observe(at) => out.push(encoder.observe(at)),
+        }
+    }
+}
+
+/// What one verification replay saw; both encoders must agree on all of it.
+#[derive(PartialEq)]
+struct Verified {
+    captures: Vec<Capture>,
+    counts: OpCounts,
+    ucp_detections: u64,
+}
+
+/// Hook throughput (hooks/sec) of `repeat` replays, best of `passes`
+/// timed passes. Each pass gets a fresh encoder and one untimed warm-up
+/// replay, so the clock measures steady-state hook dispatch.
+fn measure<E: ContextEncoder>(
+    entry: MethodId,
+    hooks: &[Hook],
+    repeat: usize,
+    passes: usize,
+    mut make: impl FnMut() -> E,
+) -> (f64, u64) {
+    let mut best_ns = u64::MAX;
+    let mut out = Vec::new();
+    for _ in 0..passes {
+        let mut encoder = make();
+        out.clear();
+        replay(entry, hooks, &mut encoder, &mut out);
+        let start = Instant::now();
+        for _ in 0..repeat {
+            out.clear();
+            replay(entry, hooks, &mut encoder, &mut out);
+            black_box(&out);
+        }
+        best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+    }
+    let replayed = (hooks.len() * repeat) as u64;
+    (replayed as f64 * 1e9 / best_ns as f64, best_ns)
+}
+
+/// One benchmarked workload: a program plus the plan scope it runs under.
+struct Workload {
+    name: String,
+    program: Program,
+    scope: ScopeFilter,
+    /// SPECjvm-like workloads carry the paper's headline claim and gate
+    /// the full (non-smoke) run; synthetic shapes are informational.
+    specjvm: bool,
+}
+
+fn workloads(smoke: bool) -> Vec<Workload> {
+    let spec = if smoke {
+        vec!["compress"]
+    } else {
+        vec!["compress", "crypto.aes", "mpegaudio", "xml.transform"]
+    };
+    let mut out: Vec<Workload> = spec
+        .into_iter()
+        .map(|name| Workload {
+            name: name.to_owned(),
+            program: specjvm::program(name).expect("bundled benchmark"),
+            scope: ScopeFilter::ApplicationOnly,
+            specjvm: true,
+        })
+        .collect();
+    // A closed-world synthetic shape (every hook hits a present table
+    // slot) and a dynamic-loading shape (UCP recoveries and absent slots
+    // on the hot path) round out the coverage.
+    out.push(Workload {
+        name: "synthetic.closed".into(),
+        program: generate(&SyntheticConfig {
+            name: "hotpath_closed".into(),
+            seed: 7,
+            lib_families: 0,
+            lib_methods_per_layer: 0,
+            cross_scope_prob: 0.0,
+            dynamic_subclass_prob: 0.0,
+            main_loop_iters: 4,
+            observe_events: 4,
+            ..SyntheticConfig::default()
+        }),
+        scope: ScopeFilter::All,
+        specjvm: false,
+    });
+    out.push(Workload {
+        name: "synthetic.dynamic".into(),
+        program: generate(&SyntheticConfig {
+            name: "hotpath_dynamic".into(),
+            seed: 9,
+            main_loop_iters: 3,
+            observe_events: 4,
+            ..SyntheticConfig::default()
+        }),
+        scope: ScopeFilter::ApplicationOnly,
+        specjvm: false,
+    });
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = flag("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| ".".into());
+    let repeat: usize = flag("--repeat").map_or(if smoke { 2 } else { 12 }, |v| {
+        v.parse().expect("--repeat N")
+    });
+    let passes = if smoke { 2 } else { 3 };
+    /// Replayed stream length cap: enough for steady-state measurement,
+    /// small enough that harvesting and verification stay quick.
+    const STREAM_CAP: usize = 400_000;
+
+    let mut perf = PerfSuite::new("encoder_hotpath");
+    let mut worst_specjvm = f64::INFINITY;
+    let mut worst_overall = f64::INFINITY;
+    for w in workloads(smoke) {
+        let plan_config = PlanConfig::default().with_scope(w.scope);
+        let plan = EncodingPlan::analyze(&w.program, &plan_config).expect("plan");
+        let compiled = plan.compile();
+        let entry = w.program.entry();
+
+        // Harvest the hook stream once (the VM is deterministic).
+        let mut trace = HookTrace::default();
+        let mut vm = Vm::new(
+            &w.program,
+            VmConfig::default().with_collect(CollectMode::ObservesOnly),
+        );
+        vm.run(&mut trace, &mut NullCollector).expect("harvest run");
+        let mut hooks = trace.hooks;
+        let harvested = hooks.len();
+        hooks.truncate(STREAM_CAP);
+
+        // Verify: both encoders must agree capture for capture before any
+        // throughput number is believed.
+        let verify = |captures: Vec<Capture>, counts: OpCounts, ucp: u64| Verified {
+            captures,
+            counts,
+            ucp_detections: ucp,
+        };
+        let mut map_enc = DeltaEncoder::new(&plan);
+        let mut map_caps = Vec::new();
+        replay(entry, &hooks, &mut map_enc, &mut map_caps);
+        let map_seen = verify(map_caps, map_enc.counts(), map_enc.ucp_detections());
+        let mut tab_enc = CompiledDeltaEncoder::new(&compiled);
+        let mut tab_caps = Vec::new();
+        replay(entry, &hooks, &mut tab_enc, &mut tab_caps);
+        let tab_seen = verify(tab_caps, tab_enc.counts(), tab_enc.ucp_detections());
+        assert!(
+            map_seen == tab_seen,
+            "{}: compiled and map-based encoders diverged",
+            w.name
+        );
+        let unique: HashSet<&Capture> = map_seen.captures.iter().collect();
+        let max_depth = {
+            let (mut depth, mut max) = (0usize, 0usize);
+            for hook in &hooks {
+                match hook {
+                    Hook::Entry(..) => {
+                        depth += 1;
+                        max = max.max(depth);
+                    }
+                    Hook::Exit(_) => depth -= 1,
+                    _ => {}
+                }
+            }
+            max
+        };
+
+        let (map_rate, _) = measure(entry, &hooks, repeat, passes, || DeltaEncoder::new(&plan));
+        let (tab_rate, tab_ns) = measure(entry, &hooks, repeat, passes, || {
+            CompiledDeltaEncoder::new(&compiled)
+        });
+        let ratio = tab_rate / map_rate;
+        if w.specjvm {
+            worst_specjvm = worst_specjvm.min(ratio);
+        }
+        worst_overall = worst_overall.min(ratio);
+        eprintln!(
+            "{:22} {harvested:>8} hooks ({} replayed): map {:>7.1} ns/hook, compiled {:>7.1} ns/hook ({ratio:.2}x)",
+            w.name,
+            hooks.len(),
+            1e9 / map_rate,
+            1e9 / tab_rate,
+        );
+
+        let replayed = (hooks.len() * repeat) as u64;
+        for (encoder, rate, speed, best_ns) in [
+            (
+                map_enc.name(),
+                map_rate,
+                1.0,
+                (replayed as f64 / map_rate * 1e9) as u64,
+            ),
+            (tab_enc.name(), tab_rate, ratio, tab_ns),
+        ] {
+            let _ = rate;
+            perf.records.push(PerfRecord {
+                benchmark: w.name.clone(),
+                encoder: encoder.to_owned(),
+                calls: replayed,
+                base_cost: best_ns,
+                overhead: 0,
+                normalized_speed: speed,
+                unique_contexts: unique.len() as u64,
+                max_depth: max_depth as u64,
+            });
+        }
+    }
+
+    if smoke && worst_overall < 0.95 {
+        eprintln!(
+            "error: compiled encoder slower than map-based ({worst_overall:.2}x < 0.95x) in smoke mode"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !smoke && worst_specjvm.is_finite() && worst_specjvm < 1.5 {
+        eprintln!(
+            "warning: worst SPECjvm-like compiled/map ratio was {worst_specjvm:.2}x (< 1.5x target)"
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    match perf.write_to(&out_dir) {
+        Ok(path) => {
+            println!("wrote {} records to {}", perf.records.len(), path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write perf file: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -475,9 +475,9 @@ mod tests {
             ids.push(ctx.id);
             assert_eq!(decoder.decode(&ctx).unwrap(), expected);
             st.on_exit(o2);
-            st.on_return(&plan, t2);
+            st.on_return(t2);
             st.on_exit(o1);
-            st.on_return(&plan, t1);
+            st.on_return(t1);
         }
         ids.sort_unstable();
         ids.dedup();

@@ -24,6 +24,9 @@
 //! * [`EncodingPlan`] — the complete instrumentation image: what to do at
 //!   every call site and method entry/exit (consumed by
 //!   `deltapath-runtime`);
+//! * [`CompiledPlan`] — the plan lowered into dense dispatch tables for
+//!   the table-driven encoder hot path (one array load per hook, zero
+//!   hashing);
 //! * [`DeltaState`] — the per-thread runtime state machine (ID, stack,
 //!   pending expectation) that the instrumentation hooks drive;
 //! * [`Decoder`] — precise decoding of encoded contexts, piece by piece;
@@ -69,6 +72,7 @@ mod decode;
 mod error;
 mod pcce;
 mod plan;
+mod plan_compiled;
 mod pruned;
 mod relative;
 mod sid;
@@ -83,8 +87,9 @@ pub use decode::{DecodeOptions, Decoder};
 pub use error::{DecodeError, EncodeError};
 pub use pcce::PcceEncoding;
 pub use plan::{EncodingPlan, EntryInstr, PlanConfig, SiteInstr};
+pub use plan_compiled::{CompiledPlan, EntryWord, SiteWord};
 pub use pruned::prune_to_targets;
 pub use relative::{RelativeEntry, RelativeLog};
 pub use sid::{Sid, SidTable};
-pub use state::{CallToken, DeltaState, EntryOutcome};
+pub use state::{CallToken, DeltaState, EntryOutcome, ResolvedEntry, ResolvedSite};
 pub use width::EncodingWidth;

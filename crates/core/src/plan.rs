@@ -17,6 +17,7 @@ use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
 use crate::algo2::{Algo2Config, Encoding};
 use crate::decode::{DecodeOptions, Decoder};
 use crate::error::EncodeError;
+use crate::plan_compiled::CompiledPlan;
 use crate::sid::{Sid, SidTable};
 use crate::width::EncodingWidth;
 
@@ -486,6 +487,14 @@ impl EncodingPlan {
         Decoder::new(self, DecodeOptions::default())
     }
 
+    /// Lowers the plan into dense dispatch tables for the table-driven
+    /// encoder hot path (see [`CompiledPlan`]). The tables are a pure
+    /// projection of this plan; after any plan change (e.g. re-analysis on
+    /// dynamic class loading) the compiled image must be rebuilt.
+    pub fn compile(&self) -> CompiledPlan {
+        CompiledPlan::lower(self)
+    }
+
     /// A canonical, deterministic dump of everything this plan instructs
     /// the runtime and decoder to do: the graph shape, Algorithm 2's
     /// tables, SIDs, and the per-site/per-entry instructions, with every
@@ -564,41 +573,63 @@ impl EncodingPlan {
             )
             .unwrap();
         }
-        let mut sites: Vec<(usize, &SiteInstr)> =
-            self.sites.iter().map(|(s, i)| (s.index(), i)).collect();
-        sites.sort_unstable_by_key(|&(s, _)| s);
-        for (site, instr) in sites {
-            writeln!(
-                out,
-                "site {site} av={} encoded={} sid={:?} caller={} tracked={}",
-                instr.av,
-                instr.encoded,
-                instr.expected_sid,
-                instr.caller.index(),
-                instr.tracked,
-            )
-            .unwrap();
-        }
-        let mut entries: Vec<(usize, &EntryInstr)> =
-            self.entries.iter().map(|(m, i)| (m.index(), i)).collect();
-        entries.sort_unstable_by_key(|&(m, _)| m);
-        for (method, instr) in entries {
-            writeln!(
-                out,
-                "entry {method} sid={:?} anchor={} check={}",
-                instr.sid, instr.is_anchor, instr.check_sid,
-            )
-            .unwrap();
-        }
-        let mut backs: Vec<(usize, usize)> = self
-            .back_edge_calls
-            .iter()
-            .map(|&(s, m)| (s.index(), m.index()))
-            .collect();
-        backs.sort_unstable();
-        writeln!(out, "back_edge_calls={backs:?}").unwrap();
+        out.push_str(&self.instruction_fingerprint());
         out
     }
+
+    /// The instruction sections of [`EncodingPlan::fingerprint`] alone: the
+    /// per-site and per-entry instructions and the back-edge call pairs,
+    /// canonically sorted. [`CompiledPlan::instruction_fingerprint`] renders
+    /// the same sections from its tables, so byte equality of the two
+    /// strings proves the lowering lost nothing.
+    pub fn instruction_fingerprint(&self) -> String {
+        render_instructions(
+            self.sites.iter().map(|(&s, &i)| (s, i)),
+            self.entries.iter().map(|(&m, &i)| (m, i)),
+            self.back_edge_calls.iter().copied(),
+        )
+    }
+}
+
+/// Renders the canonical instruction dump shared by
+/// [`EncodingPlan::instruction_fingerprint`] and
+/// [`CompiledPlan::instruction_fingerprint`]. Inputs may arrive unordered;
+/// the output is sorted by index.
+pub(crate) fn render_instructions(
+    sites: impl Iterator<Item = (SiteId, SiteInstr)>,
+    entries: impl Iterator<Item = (MethodId, EntryInstr)>,
+    backs: impl Iterator<Item = (SiteId, MethodId)>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut sites: Vec<(usize, SiteInstr)> = sites.map(|(s, i)| (s.index(), i)).collect();
+    sites.sort_unstable_by_key(|&(s, _)| s);
+    for (site, instr) in sites {
+        writeln!(
+            out,
+            "site {site} av={} encoded={} sid={:?} caller={} tracked={}",
+            instr.av,
+            instr.encoded,
+            instr.expected_sid,
+            instr.caller.index(),
+            instr.tracked,
+        )
+        .unwrap();
+    }
+    let mut entries: Vec<(usize, EntryInstr)> = entries.map(|(m, i)| (m.index(), i)).collect();
+    entries.sort_unstable_by_key(|&(m, _)| m);
+    for (method, instr) in entries {
+        writeln!(
+            out,
+            "entry {method} sid={:?} anchor={} check={}",
+            instr.sid, instr.is_anchor, instr.check_sid,
+        )
+        .unwrap();
+    }
+    let mut backs: Vec<(usize, usize)> = backs.map(|(s, m)| (s.index(), m.index())).collect();
+    backs.sort_unstable();
+    writeln!(out, "back_edge_calls={backs:?}").unwrap();
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,544 @@
+//! Dense dispatch tables lowered from an [`EncodingPlan`].
+//!
+//! The plan proper stores its per-site and per-entry instructions in hash
+//! maps — the right shape for analysis, auditing and decoding, but not for
+//! the runtime hot path, which pays a SipHash probe (and often several) per
+//! dynamic call. A real deployment would not hash anything at runtime: the
+//! injected bytecode *is* the instruction, specialized per site at
+//! class-load time. [`CompiledPlan`] is the analog of that injection step:
+//! a struct-of-arrays image indexed directly by [`SiteId::index`] /
+//! [`MethodId::index`], so every encoder hook performs exactly one
+//! bounds-checked array load and zero hashing.
+//!
+//! Each call site lowers to a [`SiteWord`]: the 64-bit addition value plus
+//! a packed action word holding the expected SID and the
+//! present/encoded/tracked flags, with the plan-wide call-path-tracking
+//! switch pre-ANDed in (`SAVE_PENDING = cpt && tracked`), so the hot path
+//! tests single bits instead of re-deriving config conjunctions. Each
+//! instrumented method lowers to an [`EntryWord`] the same way
+//! (`DO_CHECK = cpt && check_sid`). Absent entries are the all-zero word —
+//! the `PRESENT` bit doubles as the "instrumented at all" test — which
+//! lets lookups be unconditional loads with a zero default instead of an
+//! `Option` dance.
+//!
+//! The compiled image is a pure projection of the plan it was lowered
+//! from: it can always be re-derived, carries a copy of nothing mutable,
+//! and must be rebuilt whenever the plan changes (re-analysis after
+//! dynamic class loading). [`CompiledPlan::instruction_fingerprint`]
+//! renders the tables back into the exact byte format of
+//! [`EncodingPlan::instruction_fingerprint`], so equality of the two
+//! strings — checked by the `DP040` audit — proves the lowering lost
+//! nothing.
+
+use deltapath_ir::{MethodId, SiteId};
+
+use crate::plan::{render_instructions, EncodingPlan, EntryInstr, SiteInstr};
+use crate::sid::Sid;
+use crate::state::{ResolvedEntry, ResolvedSite};
+
+/// Bit layout shared by both word kinds: the low 32 bits hold a raw SID.
+const SID_MASK: u64 = 0xFFFF_FFFF;
+
+/// The slot holds an instruction at all (the site/method is instrumented).
+const SITE_PRESENT: u64 = 1 << 32;
+/// The site's ID arithmetic is emitted.
+const SITE_ENCODED: u64 = 1 << 33;
+/// The raw `tracked` flag from the plan (config-independent).
+const SITE_TRACKED: u64 = 1 << 34;
+/// `cpt && tracked`, pre-fused: the hook saves the pending expectation.
+const SITE_SAVE_PENDING: u64 = 1 << 35;
+/// At least one `(this site, callee)` pair is a recursion back edge, so a
+/// dispatch through this site must consult the back-edge table.
+const SITE_MAY_BACK_EDGE: u64 = 1 << 36;
+
+/// The slot holds an entry instruction (the method is instrumented).
+const ENTRY_PRESENT: u64 = 1 << 32;
+/// The method is an anchor: its entry pushes and resets the ID.
+const ENTRY_ANCHOR: u64 = 1 << 33;
+/// The raw `check_sid` flag from the plan (config-independent).
+const ENTRY_CHECK: u64 = 1 << 34;
+/// `cpt && check_sid`, pre-fused: the hook performs the SID comparison.
+const ENTRY_DO_CHECK: u64 = 1 << 35;
+
+/// One call site's fused action word: the addition value alongside a
+/// packed word of flags and the expected SID.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteWord {
+    av: u64,
+    word: u64,
+}
+
+impl SiteWord {
+    /// The word of an uninstrumented site: no flags, no arithmetic.
+    pub const ABSENT: SiteWord = SiteWord { av: 0, word: 0 };
+
+    /// Whether the site carries any instrumentation.
+    #[inline]
+    pub fn present(self) -> bool {
+        self.word & SITE_PRESENT != 0
+    }
+
+    /// Whether the ID arithmetic is emitted.
+    #[inline]
+    pub fn encoded(self) -> bool {
+        self.word & SITE_ENCODED != 0
+    }
+
+    /// The raw `tracked` flag (before fusing with the CPT switch).
+    #[inline]
+    pub fn tracked(self) -> bool {
+        self.word & SITE_TRACKED != 0
+    }
+
+    /// Whether the hook saves the pending expectation (`cpt && tracked`).
+    #[inline]
+    pub fn save_pending(self) -> bool {
+        self.word & SITE_SAVE_PENDING != 0
+    }
+
+    /// Whether some dispatch through this site takes a recursion back edge
+    /// (guard before the back-edge pair lookup).
+    #[inline]
+    pub fn may_take_back_edge(self) -> bool {
+        self.word & SITE_MAY_BACK_EDGE != 0
+    }
+
+    /// The site's addition value.
+    #[inline]
+    pub fn av(self) -> u64 {
+        self.av
+    }
+
+    /// The SID every statically known target shares.
+    #[inline]
+    pub fn expected_sid(self) -> Sid {
+        Sid::from_raw((self.word & SID_MASK) as u32)
+    }
+
+    /// Unpacks the word into the resolved form the state machine consumes.
+    #[inline]
+    pub fn resolved(self) -> ResolvedSite {
+        ResolvedSite {
+            av: self.av,
+            encoded: self.encoded(),
+            expected_sid: self.expected_sid(),
+            save_pending: self.save_pending(),
+        }
+    }
+}
+
+/// One method entry's fused action word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryWord {
+    word: u64,
+}
+
+impl EntryWord {
+    /// The word of an uninstrumented method.
+    pub const ABSENT: EntryWord = EntryWord { word: 0 };
+
+    /// Whether the method entry carries any instrumentation.
+    #[inline]
+    pub fn present(self) -> bool {
+        self.word & ENTRY_PRESENT != 0
+    }
+
+    /// Whether the entry pushes an anchor frame.
+    #[inline]
+    pub fn is_anchor(self) -> bool {
+        self.word & ENTRY_ANCHOR != 0
+    }
+
+    /// The raw `check_sid` flag (before fusing with the CPT switch).
+    #[inline]
+    pub fn check_sid(self) -> bool {
+        self.word & ENTRY_CHECK != 0
+    }
+
+    /// Whether the entry performs the SID check (`cpt && check_sid`).
+    #[inline]
+    pub fn do_check(self) -> bool {
+        self.word & ENTRY_DO_CHECK != 0
+    }
+
+    /// The method's SID.
+    #[inline]
+    pub fn sid(self) -> Sid {
+        Sid::from_raw((self.word & SID_MASK) as u32)
+    }
+
+    /// Unpacks the word into the resolved form the state machine consumes,
+    /// given the back-edge classification of the dispatching call.
+    #[inline]
+    pub fn resolved(self, back_edge: bool) -> ResolvedEntry {
+        ResolvedEntry {
+            sid: self.sid(),
+            is_anchor: self.is_anchor(),
+            do_check: self.do_check(),
+            back_edge,
+        }
+    }
+}
+
+/// The dense dispatch-table image of an [`EncodingPlan`]: what the injected
+/// instrumentation would be, laid out for one-load lookups.
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    cpt: bool,
+    entry_method: MethodId,
+    /// Site action words, indexed by [`SiteId::index`].
+    sites: Vec<SiteWord>,
+    /// The caller method of each present site (cold — only decod-/audit-side
+    /// re-expansion reads it). `u32::MAX` marks an absent slot.
+    site_callers: Vec<u32>,
+    /// Entry action words, indexed by [`MethodId::index`].
+    entries: Vec<EntryWord>,
+    /// Recursion back-edge `(site, callee)` pairs, sorted for binary search.
+    back_edge_calls: Vec<(u32, u32)>,
+}
+
+impl CompiledPlan {
+    /// Lowers `plan` into tables. Use [`EncodingPlan::compile`].
+    pub(crate) fn lower(plan: &EncodingPlan) -> Self {
+        let cpt = plan.config().cpt;
+        let site_slots = plan
+            .site_instrs()
+            .map(|(s, _)| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut sites = vec![SiteWord::ABSENT; site_slots];
+        let mut site_callers = vec![u32::MAX; site_slots];
+        for (site, instr) in plan.site_instrs() {
+            let mut word = SITE_PRESENT | u64::from(instr.expected_sid.as_u32());
+            if instr.encoded {
+                word |= SITE_ENCODED;
+            }
+            if instr.tracked {
+                word |= SITE_TRACKED;
+                if cpt {
+                    word |= SITE_SAVE_PENDING;
+                }
+            }
+            sites[site.index()] = SiteWord { av: instr.av, word };
+            site_callers[site.index()] = instr.caller.as_u32();
+        }
+
+        let entry_slots = plan
+            .entry_instrs()
+            .map(|(m, _)| m.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut entries = vec![EntryWord::ABSENT; entry_slots];
+        for (method, instr) in plan.entry_instrs() {
+            let mut word = ENTRY_PRESENT | u64::from(instr.sid.as_u32());
+            if instr.is_anchor {
+                word |= ENTRY_ANCHOR;
+            }
+            if instr.check_sid {
+                word |= ENTRY_CHECK;
+                if cpt {
+                    word |= ENTRY_DO_CHECK;
+                }
+            }
+            entries[method.index()] = EntryWord { word };
+        }
+
+        let mut back_edge_calls: Vec<(u32, u32)> = plan
+            .back_edge_call_pairs()
+            .map(|(s, m)| (s.as_u32(), m.as_u32()))
+            .collect();
+        back_edge_calls.sort_unstable();
+        for &(site, _) in &back_edge_calls {
+            // A back-edge site always lies in an instrumented caller, so its
+            // slot exists; the guard keeps a corrupted plan from panicking
+            // here instead of failing the DP040 audit.
+            if let Some(w) = sites.get_mut(site as usize) {
+                w.word |= SITE_MAY_BACK_EDGE;
+            }
+        }
+
+        Self {
+            cpt,
+            entry_method: plan.entry_method(),
+            sites,
+            site_callers,
+            entries,
+            back_edge_calls,
+        }
+    }
+
+    /// Whether the plan was compiled with call-path tracking on.
+    pub fn cpt(&self) -> bool {
+        self.cpt
+    }
+
+    /// The program's entry method.
+    pub fn entry_method(&self) -> MethodId {
+        self.entry_method
+    }
+
+    /// The action word of `site` — [`SiteWord::ABSENT`] when the site is
+    /// uninstrumented or out of range. One bounds-checked load, no hashing.
+    #[inline]
+    pub fn site(&self, site: SiteId) -> SiteWord {
+        self.sites
+            .get(site.index())
+            .copied()
+            .unwrap_or(SiteWord::ABSENT)
+    }
+
+    /// The action word of the entry of `method` — [`EntryWord::ABSENT`]
+    /// when the method is uninstrumented or out of range.
+    #[inline]
+    pub fn entry(&self, method: MethodId) -> EntryWord {
+        self.entries
+            .get(method.index())
+            .copied()
+            .unwrap_or(EntryWord::ABSENT)
+    }
+
+    /// Whether dispatching `site` to `callee` takes a recursion back edge.
+    /// Guard with [`SiteWord::may_take_back_edge`] to skip the search for
+    /// the overwhelmingly common non-recursive site.
+    #[inline]
+    pub fn is_back_edge_call(&self, site: SiteId, callee: MethodId) -> bool {
+        self.back_edge_calls
+            .binary_search(&(site.as_u32(), callee.as_u32()))
+            .is_ok()
+    }
+
+    /// Re-expands the action word of `site` into the plan's instruction
+    /// form, or `None` for an absent slot. Exact inverse of the lowering —
+    /// pinned by the round-trip tests and the `DP040` audit.
+    pub fn site_instr(&self, site: SiteId) -> Option<SiteInstr> {
+        let w = self.site(site);
+        if !w.present() {
+            return None;
+        }
+        let caller = self.site_callers[site.index()];
+        debug_assert_ne!(caller, u32::MAX, "present site without a caller");
+        Some(SiteInstr {
+            av: w.av(),
+            encoded: w.encoded(),
+            expected_sid: w.expected_sid(),
+            caller: MethodId::from_index(caller as usize),
+            tracked: w.tracked(),
+        })
+    }
+
+    /// Re-expands the action word of `method` into the plan's instruction
+    /// form, or `None` for an absent slot.
+    pub fn entry_instr(&self, method: MethodId) -> Option<EntryInstr> {
+        let w = self.entry(method);
+        if !w.present() {
+            return None;
+        }
+        Some(EntryInstr {
+            sid: w.sid(),
+            is_anchor: w.is_anchor(),
+            check_sid: w.check_sid(),
+        })
+    }
+
+    /// All sites with a present action word.
+    pub fn present_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.present())
+            .map(|(i, _)| SiteId::from_index(i))
+    }
+
+    /// All methods with a present entry word.
+    pub fn present_entries(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.present())
+            .map(|(i, _)| MethodId::from_index(i))
+    }
+
+    /// All `(site, callee)` recursion back-edge pairs, sorted.
+    pub fn back_edge_call_pairs(&self) -> impl Iterator<Item = (SiteId, MethodId)> + '_ {
+        self.back_edge_calls.iter().map(|&(s, m)| {
+            (
+                SiteId::from_index(s as usize),
+                MethodId::from_index(m as usize),
+            )
+        })
+    }
+
+    /// Number of present site words.
+    pub fn site_count(&self) -> usize {
+        self.sites.iter().filter(|w| w.present()).count()
+    }
+
+    /// Number of present entry words.
+    pub fn entry_count(&self) -> usize {
+        self.entries.iter().filter(|w| w.present()).count()
+    }
+
+    /// Total table footprint in bytes (hot words only, excluding the cold
+    /// caller array) — the price of the dense layout.
+    pub fn table_bytes(&self) -> usize {
+        self.sites.len() * std::mem::size_of::<SiteWord>()
+            + self.entries.len() * std::mem::size_of::<EntryWord>()
+            + self.back_edge_calls.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Renders the tables back into the exact byte format of
+    /// [`EncodingPlan::instruction_fingerprint`]. Byte equality of the two
+    /// strings proves the lowering preserved every instruction.
+    pub fn instruction_fingerprint(&self) -> String {
+        render_instructions(
+            self.present_sites().map(|s| {
+                let instr = self.site_instr(s).expect("present site re-expands");
+                (s, instr)
+            }),
+            self.present_entries().map(|m| {
+                let instr = self.entry_instr(m).expect("present entry re-expands");
+                (m, instr)
+            }),
+            self.back_edge_call_pairs(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanConfig;
+    use crate::width::EncodingWidth;
+    use deltapath_ir::{MethodKind, Program, ProgramBuilder};
+
+    fn recursive_program() -> Program {
+        let mut b = ProgramBuilder::new("compiled");
+        let c = b.add_class("C", None);
+        b.method(c, "leaf", MethodKind::Static).finish();
+        b.method(c, "rec", MethodKind::Static)
+            .body(|f| {
+                f.if_mod(
+                    3,
+                    0,
+                    |_| {},
+                    |f| {
+                        f.call_arg(
+                            deltapath_ir::ClassId::from_index(0),
+                            "rec",
+                            deltapath_ir::ArgExpr::ParamPlus(1),
+                        );
+                    },
+                );
+            })
+            .finish();
+        let main = b
+            .method(c, "main", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "leaf");
+                f.call(c, "leaf");
+                f.call(deltapath_ir::ClassId::from_index(0), "rec");
+            })
+            .finish();
+        b.entry(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trips_every_instruction() {
+        let p = recursive_program();
+        for cpt in [true, false] {
+            let cfg = PlanConfig::default().with_cpt(cpt);
+            let plan = EncodingPlan::analyze(&p, &cfg).unwrap();
+            let compiled = plan.compile();
+            assert_eq!(compiled.cpt(), cpt);
+            assert_eq!(compiled.entry_method(), plan.entry_method());
+            for (site, instr) in plan.site_instrs() {
+                assert_eq!(compiled.site_instr(site), Some(*instr), "site {site:?}");
+            }
+            for (method, instr) in plan.entry_instrs() {
+                assert_eq!(
+                    compiled.entry_instr(method),
+                    Some(*instr),
+                    "entry {method:?}"
+                );
+            }
+            assert_eq!(compiled.site_count(), plan.site_instrs().count());
+            assert_eq!(compiled.entry_count(), plan.entry_instrs().count());
+            let mut want: Vec<_> = plan.back_edge_call_pairs().collect();
+            want.sort_unstable();
+            let got: Vec<_> = compiled.back_edge_call_pairs().collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn fused_flags_depend_on_cpt() {
+        let p = recursive_program();
+        let plan_on = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let plan_off = EncodingPlan::analyze(&p, &PlanConfig::default().with_cpt(false)).unwrap();
+        let on = plan_on.compile();
+        let off = plan_off.compile();
+        for site in on.present_sites() {
+            let w = on.site(site);
+            assert_eq!(w.save_pending(), w.tracked());
+            assert!(!off.site(site).save_pending());
+        }
+        for method in on.present_entries() {
+            let w = on.entry(method);
+            assert_eq!(w.do_check(), w.check_sid());
+            assert!(!off.entry(method).do_check());
+        }
+    }
+
+    #[test]
+    fn absent_slots_are_zero_words() {
+        let p = recursive_program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let compiled = plan.compile();
+        let bogus_site = SiteId::from_index(9_999);
+        let bogus_method = MethodId::from_index(9_999);
+        assert_eq!(compiled.site(bogus_site), SiteWord::ABSENT);
+        assert_eq!(compiled.entry(bogus_method), EntryWord::ABSENT);
+        assert_eq!(compiled.site_instr(bogus_site), None);
+        assert_eq!(compiled.entry_instr(bogus_method), None);
+        assert!(!compiled.site(bogus_site).present());
+    }
+
+    #[test]
+    fn back_edges_survive_lowering() {
+        let p = recursive_program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let compiled = plan.compile();
+        let mut saw_back_edge = false;
+        for (site, callee) in plan.back_edge_call_pairs() {
+            saw_back_edge = true;
+            assert!(compiled.is_back_edge_call(site, callee));
+            assert!(compiled.site(site).may_take_back_edge());
+        }
+        assert!(saw_back_edge, "fixture must contain recursion");
+        for site in compiled.present_sites() {
+            if !compiled.site(site).may_take_back_edge() {
+                for callee in compiled.present_entries() {
+                    assert!(!compiled.is_back_edge_call(site, callee));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_matches_plan_sections() {
+        let p = recursive_program();
+        for width in [EncodingWidth::U64, EncodingWidth::new(8)] {
+            let cfg = PlanConfig::default().with_width(width);
+            let plan = EncodingPlan::analyze(&p, &cfg).unwrap();
+            let compiled = plan.compile();
+            assert_eq!(
+                compiled.instruction_fingerprint(),
+                plan.instruction_fingerprint()
+            );
+            assert!(plan
+                .fingerprint()
+                .ends_with(&plan.instruction_fingerprint()));
+        }
+    }
+}

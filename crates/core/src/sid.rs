@@ -34,6 +34,13 @@ impl Sid {
     pub fn as_u32(self) -> u32 {
         self.0
     }
+
+    /// Reconstructs a SID from its raw value — the inverse of
+    /// [`Sid::as_u32`], used when unpacking SIDs stored in compiled
+    /// dispatch-table words.
+    pub const fn from_raw(raw: u32) -> Self {
+        Sid(raw)
+    }
 }
 
 impl fmt::Debug for Sid {

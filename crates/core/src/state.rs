@@ -21,16 +21,104 @@
 use deltapath_ir::{MethodId, SiteId};
 
 use crate::context::{EncodedContext, Frame, FrameTag};
-use crate::plan::EncodingPlan;
+use crate::plan::{EncodingPlan, EntryInstr, SiteInstr};
 use crate::sid::Sid;
+
+/// A [`SiteInstr`] resolved against the plan configuration: everything the
+/// caller-side hooks need, with the config conditionals (`cpt && tracked`)
+/// already folded in so the hot path branches on plain booleans. This is
+/// the unpacked form of a [`CompiledPlan`](crate::CompiledPlan) site word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedSite {
+    /// The site's addition value.
+    pub av: u64,
+    /// Whether the ID arithmetic is emitted.
+    pub encoded: bool,
+    /// The SID every statically known target shares.
+    pub expected_sid: Sid,
+    /// Whether the site saves the pending expectation — `tracked` fused
+    /// with the plan-wide call-path-tracking switch.
+    pub save_pending: bool,
+}
+
+impl ResolvedSite {
+    /// Resolves a site instruction under a call-path-tracking mode.
+    pub fn of(instr: &SiteInstr, cpt: bool) -> Self {
+        Self {
+            av: instr.av,
+            encoded: instr.encoded,
+            expected_sid: instr.expected_sid,
+            save_pending: cpt && instr.tracked,
+        }
+    }
+}
+
+/// An [`EntryInstr`] resolved against the plan configuration and the
+/// dispatching call site: the config conditionals (`cpt && check_sid`) and
+/// the back-edge classification of the `(site, method)` pair are folded in
+/// before the state machine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedEntry {
+    /// The method's SID.
+    pub sid: Sid,
+    /// Whether the entry pushes an anchor frame.
+    pub is_anchor: bool,
+    /// Whether the entry performs the SID check — `check_sid` fused with
+    /// the plan-wide call-path-tracking switch.
+    pub do_check: bool,
+    /// Whether the dispatching call took a recursion back edge.
+    pub back_edge: bool,
+}
+
+impl ResolvedEntry {
+    /// Resolves an entry instruction under a call-path-tracking mode and a
+    /// back-edge classification of the incoming call.
+    pub fn of(instr: &EntryInstr, cpt: bool, back_edge: bool) -> Self {
+        Self {
+            sid: instr.sid,
+            is_anchor: instr.is_anchor,
+            do_check: cpt && instr.check_sid,
+            back_edge,
+        }
+    }
+}
 
 /// The caller-saved half of a call: returned by [`DeltaState::on_call`],
 /// must be passed to [`DeltaState::on_return`] when the call returns.
-#[derive(Clone, Debug)]
+///
+/// The token carries everything the return hook needs (the amount to
+/// subtract and whether/what to restore), so `on_return` never consults
+/// the plan — each call resolves its site instruction exactly once.
+#[derive(Clone, Copy, Debug)]
 pub struct CallToken {
     added: u64,
+    encoded: bool,
+    restore_pending: bool,
     saved_pending: Option<Pending>,
-    site: SiteId,
+}
+
+impl CallToken {
+    /// The token of a call through an uninstrumented site: subtracts
+    /// nothing, restores nothing.
+    pub fn inert() -> Self {
+        Self {
+            added: 0,
+            encoded: false,
+            restore_pending: false,
+            saved_pending: None,
+        }
+    }
+
+    /// Whether the site's ID arithmetic was emitted (the matching return
+    /// performs a subtraction).
+    pub fn encoded(&self) -> bool {
+        self.encoded
+    }
+
+    /// The amount `on_call` added (zero for non-encoded sites).
+    pub fn added(&self) -> u64 {
+        self.added
+    }
 }
 
 /// The expectation saved before a call for call-path tracking.
@@ -96,7 +184,7 @@ impl EntryOutcome {
 /// let ctx = state.snapshot(helper);
 /// assert_eq!(plan.decoder().decode(&ctx)?, vec![main, helper]);
 /// state.on_exit(outcome);
-/// state.on_return(&plan, token);
+/// state.on_return(token);
 /// assert_eq!(state.id(), 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -133,20 +221,26 @@ impl DeltaState {
         self.stack.len()
     }
 
-    /// Caller-side hook, before the call at `site` is dispatched.
+    /// Caller-side hook, before the call at `site` is dispatched; resolves
+    /// the site against `plan` and delegates to
+    /// [`DeltaState::on_call_resolved`]. This is the map-probing reference
+    /// path; table-driven encoders resolve through a
+    /// [`CompiledPlan`](crate::CompiledPlan) instead.
+    pub fn on_call(&mut self, plan: &EncodingPlan, site: SiteId) -> CallToken {
+        match plan.site(site) {
+            Some(instr) => self.on_call_resolved(site, ResolvedSite::of(instr, plan.config().cpt)),
+            None => CallToken::inert(),
+        }
+    }
+
+    /// Caller-side hook with the site instruction already resolved.
     ///
     /// Adds the site's addition value (if the site is encoded) and installs
-    /// the pending expectation (if call-path tracking is on). The returned
-    /// token must be handed to [`DeltaState::on_return`] afterwards.
-    pub fn on_call(&mut self, plan: &EncodingPlan, site: SiteId) -> CallToken {
-        let Some(instr) = plan.site(site) else {
-            return CallToken {
-                added: 0,
-                saved_pending: None,
-                site,
-            };
-        };
-        let added = if instr.encoded { instr.av } else { 0 };
+    /// the pending expectation (if the resolved instruction saves it). The
+    /// returned token must be handed to [`DeltaState::on_return`]
+    /// afterwards.
+    pub fn on_call_resolved(&mut self, site: SiteId, r: ResolvedSite) -> CallToken {
+        let added = if r.encoded { r.av } else { 0 };
         // Algorithm 2 guarantees the sum stays below the width capacity on
         // every *expected* path (no runtime overflow checks needed — paper
         // Section 3.2). On corrupted paths (call-path tracking disabled in
@@ -158,11 +252,11 @@ impl DeltaState {
             "encoding ID overflow outside a corrupted-path scenario"
         );
         self.id = self.id.wrapping_add(added);
-        let saved_pending = if plan.config().cpt && instr.tracked {
+        let saved_pending = if r.save_pending {
             let saved = self.pending.take();
             self.pending = Some(Pending {
                 site,
-                expected: instr.expected_sid,
+                expected: r.expected_sid,
                 id_at_call: self.id,
             });
             saved
@@ -171,19 +265,21 @@ impl DeltaState {
         };
         CallToken {
             added,
+            encoded: r.encoded,
+            restore_pending: r.save_pending,
             saved_pending,
-            site,
         }
     }
 
-    /// Caller-side hook, after the call at `site` returned.
-    pub fn on_return(&mut self, plan: &EncodingPlan, token: CallToken) {
+    /// Caller-side hook, after the call returned. The token carries the
+    /// resolved instruction, so no plan lookup happens here.
+    pub fn on_return(&mut self, token: CallToken) {
         debug_assert!(
             self.id >= token.added,
             "encoding ID underflow outside a corrupted-path scenario"
         );
         self.id = self.id.wrapping_sub(token.added);
-        if plan.config().cpt && plan.site(token.site).map(|i| i.tracked).unwrap_or(false) {
+        if token.restore_pending {
             self.pending = token.saved_pending;
         }
     }
@@ -205,10 +301,27 @@ impl DeltaState {
         let Some(entry) = plan.entry(method) else {
             return EntryOutcome::Plain; // Uninstrumented method: no hooks.
         };
+        let back_edge = via_site.is_some_and(|site| plan.is_back_edge_call(site, method));
+        self.on_entry_resolved(
+            method,
+            via_site,
+            ResolvedEntry::of(entry, plan.config().cpt, back_edge),
+        )
+    }
 
-        if plan.config().cpt && entry.check_sid {
+    /// Callee-side hook with the entry instruction already resolved
+    /// (including the back-edge classification of `via_site`).
+    ///
+    /// Returns what was pushed; pass it to [`DeltaState::on_exit`].
+    pub fn on_entry_resolved(
+        &mut self,
+        method: MethodId,
+        via_site: Option<SiteId>,
+        r: ResolvedEntry,
+    ) -> EntryOutcome {
+        if r.do_check {
             let expected = self.pending.map(|p| p.expected);
-            if expected != Some(entry.sid) {
+            if expected != Some(r.sid) {
                 // Hazardous unexpected call path (Section 4.1): record the
                 // boundary and restart the encoding at this method.
                 let (site, saved_id) = match self.pending {
@@ -226,20 +339,22 @@ impl DeltaState {
             }
         }
 
-        if let Some(site) = via_site {
-            if plan.is_back_edge_call(site, method) {
-                self.stack.push(Frame {
-                    tag: FrameTag::Recursion,
-                    node: method,
-                    site: Some(site),
-                    saved_id: self.id,
-                });
-                self.id = 0;
-                return EntryOutcome::PushedRecursion;
-            }
+        if r.back_edge {
+            debug_assert!(
+                via_site.is_some(),
+                "a back-edge entry always has a dispatching site"
+            );
+            self.stack.push(Frame {
+                tag: FrameTag::Recursion,
+                node: method,
+                site: via_site,
+                saved_id: self.id,
+            });
+            self.id = 0;
+            return EntryOutcome::PushedRecursion;
         }
 
-        if entry.is_anchor {
+        if r.is_anchor {
             self.stack.push(Frame {
                 tag: FrameTag::Anchor,
                 node: method,
@@ -324,7 +439,7 @@ mod tests {
             let outcome = st.on_entry(&plan, leaf, Some(site));
             ids.push(st.snapshot(leaf).id);
             st.on_exit(outcome);
-            st.on_return(&plan, token);
+            st.on_return(token);
             assert_eq!(st.id(), 0);
             assert_eq!(st.depth(), 1);
         }
@@ -338,7 +453,7 @@ mod tests {
         let mut st = DeltaState::start(p.entry());
         let before = st.clone();
         let token = st.on_call(&plan, sites[1]);
-        st.on_return(&plan, token);
+        st.on_return(token);
         assert_eq!(st.id(), before.id());
         assert_eq!(st.depth(), before.depth());
     }
@@ -363,7 +478,7 @@ mod tests {
         let bogus = SiteId::from_index(999);
         let token = st.on_call(&plan, bogus);
         assert_eq!(st.id(), 0);
-        st.on_return(&plan, token);
+        st.on_return(token);
         assert_eq!(st.id(), 0);
     }
 }

@@ -1,0 +1,248 @@
+//! The table-driven DeltaPath encoder.
+//!
+//! [`CompiledDeltaEncoder`] is operationally identical to
+//! [`DeltaEncoder`](crate::DeltaEncoder) — same captures, same op counts,
+//! same UCP detections, pinned by the differential suite — but resolves
+//! every hook through a [`CompiledPlan`]'s dense tables instead of the
+//! plan's hash maps: one bounds-checked array load per hook, zero hashing.
+//! The return hook consults no table at all; the
+//! [`CallToken`](deltapath_core::CallToken) produced at the call carries
+//! the resolved instruction across.
+//!
+//! The map-based encoder stays as the reference oracle; this one is what a
+//! deployment would run.
+
+use deltapath_core::{CompiledPlan, DeltaState, EntryOutcome};
+use deltapath_ir::{MethodId, SiteId};
+use deltapath_telemetry::Telemetry;
+
+use crate::encoder::{report_op_counts, Capture, ContextEncoder, OpCounts};
+
+/// DeltaPath over compiled dispatch tables (see the module docs).
+#[derive(Debug)]
+pub struct CompiledDeltaEncoder<'p> {
+    compiled: &'p CompiledPlan,
+    state: DeltaState,
+    counts: OpCounts,
+    stack_hwm: usize,
+    ucp_detections: u64,
+}
+
+impl<'p> CompiledDeltaEncoder<'p> {
+    /// Creates an encoder over `compiled`. The state is initialized lazily
+    /// by [`thread_start`](ContextEncoder::thread_start).
+    pub fn new(compiled: &'p CompiledPlan) -> Self {
+        Self {
+            compiled,
+            state: DeltaState::start(compiled.entry_method()),
+            counts: OpCounts::default(),
+            stack_hwm: 0,
+            ucp_detections: 0,
+        }
+    }
+
+    /// The underlying tables.
+    pub fn compiled(&self) -> &'p CompiledPlan {
+        self.compiled
+    }
+
+    /// The current encoding state.
+    pub fn state(&self) -> &DeltaState {
+        &self.state
+    }
+
+    /// The deepest the encoding stack has grown (lifetime high-water mark,
+    /// not reset by [`thread_start`](ContextEncoder::thread_start)).
+    pub fn stack_high_water(&self) -> usize {
+        self.stack_hwm
+    }
+
+    /// Number of hazardous unexpected call paths detected.
+    pub fn ucp_detections(&self) -> u64 {
+        self.ucp_detections
+    }
+}
+
+impl ContextEncoder for CompiledDeltaEncoder<'_> {
+    type CallToken = Option<deltapath_core::CallToken>;
+    type EntryToken = EntryOutcome;
+
+    fn thread_start(&mut self, entry: MethodId) {
+        self.state = DeltaState::start(entry);
+    }
+
+    #[inline]
+    fn on_call(&mut self, site: SiteId) -> Self::CallToken {
+        let w = self.compiled.site(site);
+        if !w.present() {
+            return None;
+        }
+        self.counts.adds += u64::from(w.encoded());
+        self.counts.pending_saves += u64::from(w.save_pending());
+        Some(self.state.on_call_resolved(site, w.resolved()))
+    }
+
+    #[inline]
+    fn on_return(&mut self, _site: SiteId, token: Self::CallToken) {
+        let Some(token) = token else { return };
+        self.counts.subs += u64::from(token.encoded());
+        self.state.on_return(token);
+    }
+
+    #[inline]
+    fn on_entry(&mut self, method: MethodId, via_site: Option<SiteId>) -> EntryOutcome {
+        let e = self.compiled.entry(method);
+        if !e.present() {
+            return EntryOutcome::Plain;
+        }
+        self.counts.sid_checks += u64::from(e.do_check());
+        // Only instrumented dispatching sites count as "via"; the back-edge
+        // pair search runs only for the rare site that can take one.
+        let (via, back_edge) = match via_site {
+            Some(s) => {
+                let w = self.compiled.site(s);
+                if w.present() {
+                    let back = w.may_take_back_edge() && self.compiled.is_back_edge_call(s, method);
+                    (Some(s), back)
+                } else {
+                    (None, false)
+                }
+            }
+            None => (None, false),
+        };
+        let outcome = self
+            .state
+            .on_entry_resolved(method, via, e.resolved(back_edge));
+        if outcome.pushed() {
+            self.counts.pushes += 1;
+            self.stack_hwm = self.stack_hwm.max(self.state.depth());
+            if outcome == EntryOutcome::PushedUcp {
+                self.ucp_detections += 1;
+            }
+        }
+        outcome
+    }
+
+    #[inline]
+    fn on_exit(&mut self, _method: MethodId, token: EntryOutcome) {
+        if token.pushed() {
+            self.counts.pops += 1;
+        }
+        self.state.on_exit(token);
+    }
+
+    fn observe(&mut self, at: MethodId) -> Capture {
+        Capture::Delta(self.state.snapshot(at))
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn name(&self) -> &'static str {
+        if self.compiled.cpt() {
+            "compiled"
+        } else {
+            "compiled-nocpt"
+        }
+    }
+
+    fn report_telemetry(&self, sink: &dyn Telemetry) {
+        let name = self.name();
+        report_op_counts(sink, name, &self.counts);
+        sink.gauge_max(&format!("encoder.{name}.stack_hwm"), self.stack_hwm as u64);
+        sink.counter_add(
+            &format!("encoder.{name}.ucp_detections"),
+            self.ucp_detections,
+        );
+        sink.counter_add(
+            &format!("encoder.{name}.push_pop_imbalance"),
+            self.counts.pushes.saturating_sub(self.counts.pops),
+        );
+        sink.gauge_max(
+            &format!("encoder.{name}.table_bytes"),
+            self.compiled.table_bytes() as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoders::DeltaEncoder;
+    use deltapath_core::{EncodingPlan, PlanConfig};
+    use deltapath_ir::{MethodKind, Program, ProgramBuilder};
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("compiled-enc");
+        let c = b.add_class("C", None);
+        b.method(c, "leaf", MethodKind::Static).finish();
+        let main = b
+            .method(c, "main", MethodKind::Static)
+            .body(|f| {
+                f.call(c, "leaf");
+                f.call(c, "leaf");
+            })
+            .finish();
+        b.entry(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn mirrors_map_based_encoder_hook_for_hook() {
+        let p = program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let compiled = plan.compile();
+        let mut map = DeltaEncoder::new(&plan);
+        let mut tab = CompiledDeltaEncoder::new(&compiled);
+        let main = p.entry();
+        let leaf = p
+            .declared_method(
+                p.class_by_name("C").unwrap(),
+                p.symbols().lookup("leaf").unwrap(),
+            )
+            .unwrap();
+        let site = p.sites().iter().find(|s| s.caller() == main).unwrap().id();
+        map.thread_start(main);
+        tab.thread_start(main);
+        let tm = map.on_call(site);
+        let tc = tab.on_call(site);
+        let em = map.on_entry(leaf, Some(site));
+        let ec = tab.on_entry(leaf, Some(site));
+        assert_eq!(em, ec);
+        assert_eq!(map.observe(leaf), tab.observe(leaf));
+        map.on_exit(leaf, em);
+        tab.on_exit(leaf, ec);
+        map.on_return(site, tm);
+        tab.on_return(site, tc);
+        assert_eq!(map.counts(), tab.counts());
+        assert_eq!(map.state().id(), tab.state().id());
+    }
+
+    #[test]
+    fn names_reflect_cpt_mode() {
+        let p = program();
+        let on = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let off = EncodingPlan::analyze(&p, &PlanConfig::default().with_cpt(false)).unwrap();
+        let (con, coff) = (on.compile(), off.compile());
+        assert_eq!(CompiledDeltaEncoder::new(&con).name(), "compiled");
+        assert_eq!(CompiledDeltaEncoder::new(&coff).name(), "compiled-nocpt");
+    }
+
+    #[test]
+    fn uninstrumented_points_are_no_ops() {
+        let p = program();
+        let plan = EncodingPlan::analyze(&p, &PlanConfig::default()).unwrap();
+        let compiled = plan.compile();
+        let mut e = CompiledDeltaEncoder::new(&compiled);
+        e.thread_start(p.entry());
+        let bogus_site = SiteId::from_index(4_096);
+        let bogus_method = MethodId::from_index(4_096);
+        let t = e.on_call(bogus_site);
+        assert!(t.is_none());
+        assert_eq!(e.on_entry(bogus_method, None), EntryOutcome::Plain);
+        e.on_return(bogus_site, t);
+        assert_eq!(e.counts(), OpCounts::default());
+        assert_eq!(e.state().id(), 0);
+    }
+}

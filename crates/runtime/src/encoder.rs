@@ -7,6 +7,8 @@
 //! walking, …) and meters the abstract operations it would have executed
 //! inline, so relative overheads can be compared on equal footing.
 
+use std::sync::Arc;
+
 use deltapath_core::EncodedContext;
 use deltapath_ir::{MethodId, SiteId};
 use deltapath_telemetry::Telemetry;
@@ -22,8 +24,10 @@ pub enum Capture {
     Delta(EncodedContext),
     /// Probabilistic calling context: one hash value.
     Pcc(u64),
-    /// A walked stack: the method sequence itself (ground truth).
-    Walk(Vec<MethodId>),
+    /// A walked stack: the method sequence itself (ground truth). Shared
+    /// rather than owned so an unchanged shadow stack can be captured many
+    /// times without re-cloning it (collectors clone captures freely).
+    Walk(Arc<[MethodId]>),
     /// A pointer into a calling-context tree, identified by node index.
     CctNode(usize),
     /// Hybrid PCC+DeltaPath (paper Section 8): the PCC hash of the trunk

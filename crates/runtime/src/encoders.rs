@@ -3,7 +3,9 @@
 //! (PCC, Breadcrumbs-lite and the calling-context tree live in
 //! `deltapath-baselines`.)
 
-use deltapath_core::{DeltaState, EncodingPlan, EntryOutcome};
+use std::sync::Arc;
+
+use deltapath_core::{DeltaState, EncodingPlan, EntryOutcome, ResolvedEntry, ResolvedSite};
 use deltapath_ir::{MethodId, SiteId};
 use deltapath_telemetry::Telemetry;
 
@@ -96,43 +98,41 @@ impl ContextEncoder for DeltaEncoder<'_> {
 
     fn on_call(&mut self, site: SiteId) -> Self::CallToken {
         let instr = self.plan.site(site)?;
-        if instr.encoded {
+        let r = ResolvedSite::of(instr, self.plan.config().cpt);
+        if r.encoded {
             self.counts.adds += 1;
         }
-        if self.plan.config().cpt && instr.tracked {
+        if r.save_pending {
             self.counts.pending_saves += 1;
         }
-        Some(self.state.on_call(self.plan, site))
+        Some(self.state.on_call_resolved(site, r))
     }
 
-    fn on_return(&mut self, site: SiteId, token: Self::CallToken) {
+    fn on_return(&mut self, _site: SiteId, token: Self::CallToken) {
         let Some(token) = token else { return };
         // The matching `ID -= av` of the call — emitted only where the
-        // addition was (encoded sites).
-        if self.plan.site(site).map(|i| i.encoded).unwrap_or(false) {
+        // addition was (encoded sites). The token carries the resolved
+        // instruction, so the return side needs no plan lookup at all.
+        if token.encoded() {
             self.counts.subs += 1;
         }
-        self.state.on_return(self.plan, token);
+        self.state.on_return(token);
     }
 
     fn on_entry(&mut self, method: MethodId, via_site: Option<SiteId>) -> EntryOutcome {
-        if self.plan.entry(method).is_none() {
+        let Some(entry) = self.plan.entry(method) else {
             return EntryOutcome::Plain;
-        }
-        if self.plan.config().cpt
-            && self
-                .plan
-                .entry(method)
-                .map(|e| e.check_sid)
-                .unwrap_or(false)
-        {
-            self.counts.sid_checks += 1;
-        }
+        };
         // Only instrumented dispatching sites count as "via" — a site in an
         // uninstrumented caller has no injected code, so the entry hook sees
         // only the thread-local expectation.
         let via = via_site.filter(|&s| self.plan.site(s).is_some());
-        let outcome = self.state.on_entry(self.plan, method, via);
+        let back_edge = via.is_some_and(|s| self.plan.is_back_edge_call(s, method));
+        let r = ResolvedEntry::of(entry, self.plan.config().cpt, back_edge);
+        if r.do_check {
+            self.counts.sid_checks += 1;
+        }
+        let outcome = self.state.on_entry_resolved(method, via, r);
         if outcome.pushed() {
             self.counts.pushes += 1;
             self.stack_hwm = self.stack_hwm.max(self.state.depth());
@@ -186,23 +186,29 @@ impl ContextEncoder for DeltaEncoder<'_> {
 /// Stack walking: maintains a shadow stack of the methods in a chosen scope
 /// and reproduces it on demand — the expensive, precise baseline and the
 /// ground truth for precision experiments.
+///
+/// Captures share one allocation per stack shape: `observe` materializes
+/// the shadow stack into an `Arc<[MethodId]>` only when a push or pop has
+/// invalidated the previous capture, so repeated observations at the same
+/// depth are allocation-free (Entries-mode collection used to clone the
+/// whole stack per capture — quadratic in depth).
 #[derive(Clone, Debug)]
 pub struct StackWalkEncoder {
     /// Membership test: a method is kept on the shadow stack iff this
     /// returns true (e.g. application-scope methods only).
     keep: fn(MethodId) -> bool,
     stack: Vec<MethodId>,
+    /// The last materialized capture; `None` while the stack is dirty.
+    cached: Option<Arc<[MethodId]>>,
+    /// How many times `observe` materialized a fresh allocation.
+    rebuilds: u64,
     counts: OpCounts,
 }
 
 impl StackWalkEncoder {
     /// Walks every method.
     pub fn full() -> Self {
-        Self {
-            keep: |_| true,
-            stack: Vec::new(),
-            counts: OpCounts::default(),
-        }
+        Self::filtered(|_| true)
     }
 
     /// Walks only methods accepted by `keep`.
@@ -210,6 +216,8 @@ impl StackWalkEncoder {
         Self {
             keep,
             stack: Vec::new(),
+            cached: None,
+            rebuilds: 0,
             counts: OpCounts::default(),
         }
     }
@@ -217,6 +225,12 @@ impl StackWalkEncoder {
     /// The current shadow stack (outermost first).
     pub fn stack(&self) -> &[MethodId] {
         &self.stack
+    }
+
+    /// Number of times `observe` had to allocate a fresh stack copy (at
+    /// most one per push/pop between observations; pinned by tests).
+    pub fn stack_rebuilds(&self) -> u64 {
+        self.rebuilds
     }
 }
 
@@ -226,6 +240,7 @@ impl ContextEncoder for StackWalkEncoder {
 
     fn thread_start(&mut self, entry: MethodId) {
         self.stack.clear();
+        self.cached = None;
         if (self.keep)(entry) {
             self.stack.push(entry);
         }
@@ -237,6 +252,7 @@ impl ContextEncoder for StackWalkEncoder {
     fn on_entry(&mut self, method: MethodId, _via_site: Option<SiteId>) -> bool {
         if (self.keep)(method) {
             self.stack.push(method);
+            self.cached = None;
             true
         } else {
             false
@@ -246,13 +262,23 @@ impl ContextEncoder for StackWalkEncoder {
     fn on_exit(&mut self, _method: MethodId, pushed: bool) {
         if pushed {
             self.stack.pop();
+            self.cached = None;
         }
     }
 
     fn observe(&mut self, _at: MethodId) -> Capture {
         // Walking visits every live frame.
         self.counts.walked_frames += self.stack.len() as u64;
-        Capture::Walk(self.stack.clone())
+        let shared = match &self.cached {
+            Some(shared) => Arc::clone(shared),
+            None => {
+                self.rebuilds += 1;
+                let shared: Arc<[MethodId]> = Arc::from(self.stack.as_slice());
+                self.cached = Some(Arc::clone(&shared));
+                shared
+            }
+        };
+        Capture::Walk(shared)
     }
 
     fn counts(&self) -> OpCounts {
@@ -284,9 +310,9 @@ mod tests {
         let (a, b) = (MethodId::from_index(0), MethodId::from_index(1));
         e.thread_start(a);
         let t = e.on_entry(b, None);
-        assert_eq!(e.observe(b), Capture::Walk(vec![a, b]));
+        assert_eq!(e.observe(b), Capture::Walk(vec![a, b].into()));
         e.on_exit(b, t);
-        assert_eq!(e.observe(a), Capture::Walk(vec![a]));
+        assert_eq!(e.observe(a), Capture::Walk(vec![a].into()));
         assert_eq!(e.counts().walked_frames, 3);
     }
 
@@ -301,9 +327,40 @@ mod tests {
         e.thread_start(a);
         let tb = e.on_entry(b, None);
         let tc = e.on_entry(c, None);
-        assert_eq!(e.observe(c), Capture::Walk(vec![a, c]));
+        assert_eq!(e.observe(c), Capture::Walk(vec![a, c].into()));
         e.on_exit(c, tc);
         e.on_exit(b, tb);
         assert_eq!(e.stack(), &[a]);
+    }
+
+    #[test]
+    fn repeated_observations_share_one_allocation() {
+        let mut e = StackWalkEncoder::full();
+        let (a, b) = (MethodId::from_index(0), MethodId::from_index(1));
+        e.thread_start(a);
+        let t = e.on_entry(b, None);
+        let Capture::Walk(first) = e.observe(b) else {
+            panic!("walk capture expected");
+        };
+        // A quiet stack re-uses the materialized allocation verbatim.
+        for _ in 0..10 {
+            let Capture::Walk(again) = e.observe(b) else {
+                panic!("walk capture expected");
+            };
+            assert!(Arc::ptr_eq(&first, &again));
+        }
+        assert_eq!(e.stack_rebuilds(), 1);
+        // A pop invalidates it: exactly one new allocation, not one per
+        // observation.
+        e.on_exit(b, t);
+        let Capture::Walk(shallow) = e.observe(a) else {
+            panic!("walk capture expected");
+        };
+        assert!(!Arc::ptr_eq(&first, &shallow));
+        e.observe(a);
+        e.observe(a);
+        assert_eq!(e.stack_rebuilds(), 2);
+        // The earlier capture still holds the deep stack it saw.
+        assert_eq!(&*first, &[a, b]);
     }
 }

@@ -12,6 +12,10 @@
 //! * [`DeltaEncoder`] — DeltaPath, driving the state machine from
 //!   `deltapath-core` according to an
 //!   [`EncodingPlan`](deltapath_core::EncodingPlan);
+//! * [`CompiledDeltaEncoder`] — the same technique over a
+//!   [`CompiledPlan`](deltapath_core::CompiledPlan)'s dense dispatch
+//!   tables: one array load per hook, no hashing (the deployment-shaped
+//!   hot path; the map-based encoder is the reference oracle);
 //! * [`StackWalkEncoder`] — stack walking (precise but expensive; also the
 //!   ground truth for precision experiments);
 //! * PCC, Breadcrumbs-lite and the calling-context tree live in
@@ -64,12 +68,14 @@
 #![warn(missing_docs)]
 
 mod collect;
+mod compiled;
 mod encoder;
 mod encoders;
 mod shard;
 mod vm;
 
 pub use collect::{Collector, ContextStats, EventLog, NullCollector, RelativeCollector};
+pub use compiled::CompiledDeltaEncoder;
 pub use encoder::{report_op_counts, Capture, ContextEncoder, CostModel, OpCounts};
 pub use encoders::{DeltaEncoder, NullEncoder, StackWalkEncoder};
 pub use shard::{ShardHandle, ShardedCollector, DEFAULT_BATCH, DEFAULT_SHARDS};

@@ -166,6 +166,11 @@ pub struct Vm<'p> {
     config: VmConfig,
     cycle_counters: Vec<u32>,
     loaded: Vec<bool>,
+    /// Pre-resolved dispatch target per site for monomorphic sites (static
+    /// calls and fixed-receiver virtual calls) — their target cannot vary
+    /// at runtime, so the superclass-chain resolution runs once here
+    /// instead of per dynamic call. `None` falls back to full dispatch.
+    dispatch: Vec<Option<MethodId>>,
     stats: RunStats,
     app_depth: usize,
 }
@@ -173,11 +178,26 @@ pub struct Vm<'p> {
 impl<'p> Vm<'p> {
     /// Creates an interpreter for `program`.
     pub fn new(program: &'p Program, config: VmConfig) -> Self {
+        let dispatch = program
+            .sites()
+            .iter()
+            .map(|site| {
+                let class = match site.kind() {
+                    CallKind::Static => Some(site.declared()),
+                    CallKind::Virtual => match site.receiver().expect("validated virtual site") {
+                        Receiver::Fixed(c) => Some(*c),
+                        Receiver::Cycle(_) | Receiver::ByParam(_) => None,
+                    },
+                };
+                class.and_then(|c| program.resolve(c, site.method()))
+            })
+            .collect();
         Self {
             program,
             config,
             cycle_counters: vec![0; program.sites().len()],
             loaded: vec![false; program.classes().len()],
+            dispatch,
             stats: RunStats::default(),
             app_depth: 0,
         }
@@ -372,25 +392,33 @@ impl<'p> Vm<'p> {
     ) -> Result<(), VmError> {
         let program = self.program;
         let site = program.site(site_id);
-        let class = match site.kind() {
-            CallKind::Static => site.declared(),
-            CallKind::Virtual => {
-                let receiver = site.receiver().expect("validated virtual site");
-                match receiver {
-                    Receiver::Fixed(c) => *c,
-                    Receiver::Cycle(cs) => {
-                        let counter = &mut self.cycle_counters[site_id.index()];
-                        let c = cs[*counter as usize % cs.len()];
-                        *counter = counter.wrapping_add(1);
-                        c
+        // Monomorphic sites were resolved at Vm construction; only
+        // polymorphic receivers (or sites whose static resolution failed,
+        // which must still surface the runtime error) take the slow path.
+        let target = match self.dispatch[site_id.index()] {
+            Some(target) => target,
+            None => {
+                let class = match site.kind() {
+                    CallKind::Static => site.declared(),
+                    CallKind::Virtual => {
+                        let receiver = site.receiver().expect("validated virtual site");
+                        match receiver {
+                            Receiver::Fixed(c) => *c,
+                            Receiver::Cycle(cs) => {
+                                let counter = &mut self.cycle_counters[site_id.index()];
+                                let c = cs[*counter as usize % cs.len()];
+                                *counter = counter.wrapping_add(1);
+                                c
+                            }
+                            Receiver::ByParam(cs) => cs[param as usize % cs.len()],
+                        }
                     }
-                    Receiver::ByParam(cs) => cs[param as usize % cs.len()],
-                }
+                };
+                program
+                    .resolve(class, site.method())
+                    .ok_or(VmError::UnresolvedDispatch { site: site_id })?
             }
         };
-        let target = program
-            .resolve(class, site.method())
-            .ok_or(VmError::UnresolvedDispatch { site: site_id })?;
         let arg = site.arg().eval(param);
 
         let token = encoder.on_call(site_id);
@@ -448,7 +476,7 @@ mod tests {
         let (event, method, capture) = &log.events[0];
         assert_eq!(*event, 1);
         assert_eq!(*method, p.entry());
-        assert_eq!(*capture, Capture::Walk(vec![p.entry()]));
+        assert_eq!(*capture, Capture::Walk(vec![p.entry()].into()));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! deltapath list
 //! deltapath inspect <benchmark> [--scope app|all] [--width BITS]
 //! deltapath dot <benchmark> [--scope app|all]
-//! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|stackwalk|cct]
+//! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk|cct]
 //! deltapath decode <benchmark>     # run, capture, decode a few contexts
 //! deltapath report <benchmark> [--encoder NAME]   # machine-readable run report (JSON)
 //! deltapath report --from FILE                    # re-emit a saved report (round-trip)
@@ -20,9 +20,10 @@ use std::sync::Arc;
 use deltapath::baselines::{CctEncoder, PccEncoder, PccWidth};
 use deltapath::workloads::specjvm::{program, suite};
 use deltapath::{
-    Analysis, CallGraph, Capture, CollectMode, ContextEncoder, ContextStats, DeltaEncoder,
-    EncodingPlan, EncodingWidth, EventLog, GraphConfig, GraphStats, NullCollector, NullEncoder,
-    PlanConfig, Program, Recorder, RunReport, ScopeFilter, StackWalkEncoder, Vm, VmConfig,
+    Analysis, CallGraph, Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder, ContextStats,
+    DeltaEncoder, EncodingPlan, EncodingWidth, EventLog, GraphConfig, GraphStats, NullCollector,
+    NullEncoder, PlanConfig, Program, Recorder, RunReport, ScopeFilter, StackWalkEncoder, Vm,
+    VmConfig,
 };
 
 fn main() -> ExitCode {
@@ -46,7 +47,8 @@ fn main() -> ExitCode {
                  \x20   --width BITS       encoding integer width (default: 64)\n\
                  dot <bench>               print the encoded call graph in Graphviz format\n\
                  run <bench>               execute under an encoder and report costs\n\
-                 \x20   --encoder NAME     native|pcc|deltapath|deltapath-nocpt|stackwalk|cct\n\
+                 \x20   --encoder NAME     native|pcc|deltapath|deltapath-nocpt|\n\
+                 \x20                      compiled|compiled-nocpt|stackwalk|cct\n\
                  decode <bench>            run, capture, and decode example contexts\n\
                  report <bench>            run with telemetry; print the run report as JSON\n\
                  \x20   --encoder NAME     as for `run` (default: deltapath)\n\
@@ -204,6 +206,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         )?,
         "deltapath" => run_one(&p, vm_config, DeltaEncoder::new(&plan))?,
         "deltapath-nocpt" => run_one(&p, vm_config, DeltaEncoder::new(&nocpt))?,
+        "compiled" => {
+            let compiled = plan.compile();
+            run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?
+        }
+        "compiled-nocpt" => {
+            let compiled = nocpt.compile();
+            run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?
+        }
         "stackwalk" => run_one(&p, vm_config, StackWalkEncoder::full())?,
         "cct" => run_one(&p, vm_config, CctEncoder::new())?,
         other => return Err(format!("unknown encoder {other:?}")),
@@ -331,6 +341,19 @@ fn telemetry_report(args: &[String]) -> Result<RunReport, String> {
                 EncodingPlan::analyze_with(&p, &plan_config.with_cpt(false), recorder.as_ref())
                     .map_err(|e| e.to_string())?;
             run_one(&p, vm_config, DeltaEncoder::new(&plan))?;
+        }
+        "compiled" => {
+            let plan = EncodingPlan::analyze_with(&p, &plan_config, recorder.as_ref())
+                .map_err(|e| e.to_string())?;
+            let compiled = plan.compile();
+            run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?;
+        }
+        "compiled-nocpt" => {
+            let plan =
+                EncodingPlan::analyze_with(&p, &plan_config.with_cpt(false), recorder.as_ref())
+                    .map_err(|e| e.to_string())?;
+            let compiled = plan.compile();
+            run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?;
         }
         "stackwalk" => {
             run_one(&p, vm_config, StackWalkEncoder::full())?;

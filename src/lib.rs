@@ -90,21 +90,23 @@ pub use deltapath_runtime as runtime;
 pub use deltapath_telemetry as telemetry;
 pub use deltapath_workloads as workloads;
 
-pub use deltapath_analysis::{audit_plan, AuditReport, Diagnostic, LintCode, Severity};
+pub use deltapath_analysis::{
+    audit_compiled, audit_plan, AuditReport, Diagnostic, LintCode, Severity,
+};
 pub use deltapath_baselines::{
     BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth,
 };
 pub use deltapath_callgraph::{Analysis, CallGraph, GraphConfig, GraphStats, ScopeFilter};
 pub use deltapath_core::{
-    DecodeError, DecodeOptions, Decoder, DeltaState, EncodeError, EncodedContext, EncodingPlan,
-    EncodingWidth, Frame, FrameTag, PlanConfig, Sid,
+    CompiledPlan, DecodeError, DecodeOptions, Decoder, DeltaState, EncodeError, EncodedContext,
+    EncodingPlan, EncodingWidth, Frame, FrameTag, PlanConfig, Sid,
 };
 pub use deltapath_ir::{
     ArgExpr, ClassId, MethodId, MethodKind, Program, ProgramBuilder, Receiver, SiteId,
 };
 pub use deltapath_runtime::{
-    Capture, CollectMode, Collector, ContextEncoder, ContextStats, CostModel, DeltaEncoder,
-    EventLog, NullCollector, NullEncoder, OpCounts, RunStats, ShardHandle, ShardedCollector,
-    StackWalkEncoder, Vm, VmConfig,
+    Capture, CollectMode, Collector, CompiledDeltaEncoder, ContextEncoder, ContextStats, CostModel,
+    DeltaEncoder, EventLog, NullCollector, NullEncoder, OpCounts, RunStats, ShardHandle,
+    ShardedCollector, StackWalkEncoder, Vm, VmConfig,
 };
 pub use deltapath_telemetry::{NullTelemetry, Recorder, RunReport, Telemetry};

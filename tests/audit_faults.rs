@@ -10,8 +10,8 @@
 
 use deltapath::core::verify::{verify_plan, VerifyFailure};
 use deltapath::{
-    audit_plan, EncodingPlan, MethodKind, PlanConfig, Program, ProgramBuilder, Receiver, Sid,
-    SiteId,
+    audit_compiled, audit_plan, EncodingPlan, LintCode, MethodKind, PlanConfig, Program,
+    ProgramBuilder, Receiver, Sid, SiteId,
 };
 
 /// `main` calls `leaf` twice and `helper` twice; `helper` calls `leaf`.
@@ -324,6 +324,63 @@ fn every_mutation_is_also_caught_statically_before_dynamically() {
         "runtime av drift must surface as DP001, got {:?}",
         report.codes()
     );
+}
+
+#[test]
+fn fresh_compiled_image_audits_clean() {
+    for p in [interval_program(), dispatch_program()] {
+        let plan = analyze(&p);
+        let compiled = plan.compile();
+        let diags = audit_compiled(&plan, &compiled);
+        assert!(
+            diags.is_empty(),
+            "a freshly lowered image must agree with its plan: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn stale_site_instruction_raises_dp040() {
+    // Compile first, then drift one site's runtime addition value in the
+    // plan: the image now encodes a constant the plan no longer carries —
+    // the stale-table hazard of dynamic loading, which re-analyzes the
+    // plan and must re-lower the tables.
+    let p = interval_program();
+    let mut plan = analyze(&p);
+    let compiled = plan.compile();
+    let site = plan.site_instrs().map(|(s, _)| s).next().unwrap();
+    set_runtime_av(&mut plan, site, 77);
+
+    let diags = audit_compiled(&plan, &compiled);
+    assert!(!diags.is_empty(), "a stale image must be caught");
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.code == LintCode::CompiledPlanDivergence),
+        "table/plan disagreement must surface as DP040 only, got {diags:?}"
+    );
+    assert_eq!(LintCode::CompiledPlanDivergence.code(), "DP040");
+}
+
+#[test]
+fn stale_entry_instruction_raises_dp040() {
+    // Same hazard on the entry side: flip an anchor flag after lowering.
+    let p = dispatch_program();
+    let mut plan = analyze(&p);
+    let compiled = plan.compile();
+    let rec = method_named(&p, "A.rec");
+    assert!(plan.entry(rec).unwrap().is_anchor, "rec is an anchor");
+    plan.entry_instr_mut(rec).unwrap().is_anchor = false;
+
+    let diags = audit_compiled(&plan, &compiled);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == LintCode::CompiledPlanDivergence && d.message.contains("entry")),
+        "a stale entry word must surface as DP040, got {diags:?}"
+    );
+    // Re-lowering from the mutated plan restores agreement.
+    assert!(audit_compiled(&plan, &plan.compile()).is_empty());
 }
 
 fn method_named(p: &Program, qualified: &str) -> deltapath::MethodId {

@@ -74,7 +74,7 @@ fn oracle_stacks(program: &Program) -> Vec<(MethodId, Vec<MethodId>)> {
             let Capture::Walk(stack) = capture else {
                 unreachable!("the oracle captures Walk")
             };
-            (at, stack)
+            (at, stack.to_vec())
         })
         .collect()
 }

@@ -309,6 +309,39 @@ proptest! {
         prop_assert!(rta.is_subset(&cha), "RTA ⊆ CHA violated");
     }
 
+    /// Lowering a plan to dense dispatch tables round-trips every site and
+    /// entry instruction bit for bit, in both CPT modes, and the image
+    /// re-renders the plan's instruction fingerprint exactly.
+    #[test]
+    fn compiled_plan_round_trips(seed in any::<u64>(), cpt in any::<bool>()) {
+        let program = generate(&SyntheticConfig {
+            name: format!("lower{seed}"),
+            seed,
+            main_loop_iters: 1,
+            ..SyntheticConfig::default()
+        });
+        let plan = EncodingPlan::analyze(
+            &program,
+            &PlanConfig::default()
+                .with_scope(ScopeFilter::ApplicationOnly)
+                .with_cpt(cpt),
+        )
+        .unwrap();
+        let compiled = plan.compile();
+        for (site, instr) in plan.site_instrs() {
+            prop_assert_eq!(compiled.site_instr(site).as_ref(), Some(instr));
+        }
+        for (method, instr) in plan.entry_instrs() {
+            prop_assert_eq!(compiled.entry_instr(method).as_ref(), Some(instr));
+        }
+        prop_assert_eq!(compiled.site_count(), plan.site_instrs().count());
+        prop_assert_eq!(compiled.entry_count(), plan.entry_instrs().count());
+        prop_assert_eq!(
+            plan.instruction_fingerprint(),
+            compiled.instruction_fingerprint()
+        );
+    }
+
     /// Minimal call-path tracking never changes the encoding itself (same
     /// addition values, same anchors) — it only drops tracking operations.
     #[test]
