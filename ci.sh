@@ -30,6 +30,16 @@ else
     step cargo run --quiet --bin deltapath -- lint --all --deny-warnings
 fi
 
+# Flamegraph oracle gate: decoded context flamegraphs must agree with the
+# shadow-stack oracle (exact equality on closed-world programs,
+# conservation plus per-stack lower bounds across dynamic loading) and the
+# span exports must stay well-formed. The full sweep replays every suite
+# benchmark four times (walk oracle, map-based, compiled, span-profiled),
+# so it only runs in the full gate.
+if [ "${1:-}" != "fast" ]; then
+    step cargo run --quiet --release --bin deltapath -- flamegraph --all --check
+fi
+
 # Encoder hot-path smoke: replay identical hook streams through the
 # map-based and the compiled (table-driven) encoders; the run fails if
 # the compiled encoder is slower, and double-checks capture-for-capture
@@ -43,16 +53,26 @@ if [ "${1:-}" != "fast" ]; then
     step cargo bench --no-run --workspace
 fi
 
+# Telemetry overhead budget: sampled hook-latency recording must cost the
+# compiled encoder less than 5% throughput vs no telemetry at all (full
+# numbers: `telemetry_overhead --out results`).
+if [ "${1:-}" != "fast" ]; then
+    step cargo run --quiet --release -p deltapath-bench --bin telemetry_overhead -- \
+        --smoke --out target/bench-smoke
+fi
+
 # The suite must pass under serial test execution too: concurrency bugs
 # (and tests accidentally depending on parallel scheduling) surface as
 # differences between the two runs.
 step env RUST_TEST_THREADS=1 cargo test -q --workspace
 
-# Concurrency stress: the sharded-collector / parallel-plan suite at
-# pinned VM thread counts (the tests default to 2,4,8; pinning each count
-# separately varies the handle/shard interleavings).
+# Concurrency stress: the sharded-collector / parallel-plan suite and the
+# span-profiler merge-determinism test at pinned VM thread counts (the
+# tests default to 2,4,8; pinning each count separately varies the
+# handle/shard/lane interleavings).
 for t in 2 4 8; do
     step env DELTAPATH_STRESS_THREADS="$t" cargo test -q --test sharded_collector
+    step env DELTAPATH_STRESS_THREADS="$t" cargo test -q --test spans
 done
 
 echo

@@ -32,6 +32,7 @@ use deltapath_callgraph::{
 };
 use deltapath_core::{CompiledPlan, EncodingPlan, Sid};
 use deltapath_ir::Program;
+use deltapath_telemetry::{names, NullTelemetry, ScopedSpan, Telemetry};
 
 use crate::diag::{AuditReport, Diagnostic, LintCode};
 
@@ -42,6 +43,21 @@ use crate::diag::{AuditReport, Diagnostic, LintCode};
 /// tables is designed to surface as at least one diagnostic with a stable
 /// `DP0xx` code.
 pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
+    audit_plan_with(program, plan, &NullTelemetry)
+}
+
+/// As [`audit_plan`], emitting one timed span per audit pass into `sink`
+/// (`audit.hygiene`, `audit.back_edges`, `audit.anchors`,
+/// `audit.territories`, `audit.intervals`, `audit.instructions`,
+/// `audit.sids`, `audit.compiled`), all nested under an `audit.plan` span
+/// carrying the diagnostic count. Against a disabled sink this is exactly
+/// [`audit_plan`].
+pub fn audit_plan_with(
+    program: &Program,
+    plan: &EncodingPlan,
+    sink: &dyn Telemetry,
+) -> AuditReport {
+    let total = ScopedSpan::enter(sink, names::AUDIT_PLAN);
     let graph = plan.graph();
     let enc = plan.encoding();
     let n = graph.node_count();
@@ -79,6 +95,7 @@ pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
     let name_of = |node: NodeIx| program.method_name(graph.method_of(node));
 
     // ---- Call-graph hygiene: reachability (DP030/DP032) ----
+    let hygiene_span = ScopedSpan::enter(sink, names::AUDIT_HYGIENE);
     let mut starts: Vec<NodeIx> = graph.roots().to_vec();
     starts.extend_from_slice(graph.ucp_entry_candidates());
     let live = reachable_from(graph, &starts, &HashSet::new());
@@ -107,7 +124,10 @@ pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
         }
     }
 
+    hygiene_span.finish(&[("diagnostics", report.diagnostics.len() as u64)]);
+
     // ---- Back-edge classification (DP031) ----
+    let back_edge_span = ScopedSpan::enter(sink, names::AUDIT_BACK_EDGES);
     let topo = topological_order(graph, &enc.excluded);
     if topo.is_err() {
         report.diagnostics.push(Diagnostic::error(
@@ -188,7 +208,10 @@ pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
         ));
     }
 
+    back_edge_span.finish(&[("excluded", excluded_sorted.len() as u64)]);
+
     // ---- Anchor structure (DP003) ----
+    let anchor_span = ScopedSpan::enter(sink, names::AUDIT_ANCHORS);
     let anchor_list: BTreeSet<NodeIx> = enc.anchors.iter().copied().collect();
     let anchor_flags: BTreeSet<NodeIx> =
         graph.nodes().filter(|a| enc.is_anchor[a.index()]).collect();
@@ -223,7 +246,10 @@ pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
         }
     }
 
+    anchor_span.finish(&[("anchors", anchor_list.len() as u64)]);
+
     // ---- Territory recomputation (DP002/DP003) ----
+    let territory_span = ScopedSpan::enter(sink, names::AUDIT_TERRITORIES);
     let (nanchors2, eanchors2) = recompute_territories(graph, &enc.excluded, &enc.is_anchor);
     for node in graph.nodes() {
         let stored = &enc.nanchors[node.index()];
@@ -304,25 +330,36 @@ pub fn audit_plan(program: &Program, plan: &EncodingPlan) -> AuditReport {
         }
     }
 
+    territory_span.finish(&[]);
+
     // ---- Symbolic CAV/ICC soundness (DP001/DP010) ----
+    let interval_span = ScopedSpan::enter(sink, names::AUDIT_INTERVALS);
     if let Ok(order) = &topo {
         check_intervals(program, plan, order, &nanchors2, &eanchors2, &mut report);
     }
+    interval_span.finish(&[]);
 
     // ---- Instruction drift (DP001/DP003) ----
+    let instr_span = ScopedSpan::enter(sink, names::AUDIT_INSTRUCTIONS);
     check_instructions(program, plan, &mut report);
+    instr_span.finish(&[]);
 
     // ---- Call-path tracking (DP020/DP021) ----
+    let sid_span = ScopedSpan::enter(sink, names::AUDIT_SIDS);
     check_sids(program, plan, &mut report);
+    sid_span.finish(&[]);
 
     // ---- Compiled dispatch-table lowering (DP040) ----
     // Lower the plan here and cross-check the image: a divergence means the
     // lowering itself is broken (stale images held by callers are checked
     // with `audit_compiled` directly).
+    let compiled_span = ScopedSpan::enter(sink, names::AUDIT_COMPILED);
     report
         .diagnostics
         .extend(audit_compiled(plan, &plan.compile()));
+    compiled_span.finish(&[]);
 
+    total.finish(&[("diagnostics", report.diagnostics.len() as u64)]);
     report.finish()
 }
 

@@ -60,5 +60,5 @@
 mod audit;
 mod diag;
 
-pub use audit::{audit_compiled, audit_plan};
+pub use audit::{audit_compiled, audit_plan, audit_plan_with};
 pub use diag::{AuditReport, Diagnostic, LintCode, Severity};

@@ -13,7 +13,8 @@
 //! abstract op counts and UCP detections must be identical) and then in
 //! timed best-of-N passes. This isolates pure hook dispatch cost: the
 //! interpreter, the collector and event materialization are all off the
-//! clock.
+//! clock. The harvest/replay/measure machinery is shared with the
+//! `telemetry_overhead` binary via [`deltapath_bench::hooks`].
 //!
 //! One `deltapath.perf.v1` record per (workload, encoder) lands in
 //! `BENCH_encoder_hotpath.json`:
@@ -31,105 +32,17 @@
 //! small slack for timer noise).
 
 use std::collections::HashSet;
-use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
+use deltapath_bench::hooks::{harvest, max_entry_depth, measure, replay};
 use deltapath_bench::perf::{PerfRecord, PerfSuite};
 use deltapath_callgraph::ScopeFilter;
 use deltapath_core::{EncodingPlan, PlanConfig};
-use deltapath_ir::{MethodId, Program, SiteId};
-use deltapath_runtime::{
-    Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder, DeltaEncoder, NullCollector,
-    OpCounts, Vm, VmConfig,
-};
+use deltapath_ir::Program;
+use deltapath_runtime::{Capture, CompiledDeltaEncoder, ContextEncoder, DeltaEncoder, OpCounts};
 use deltapath_workloads::specjvm;
 use deltapath_workloads::synthetic::{generate, SyntheticConfig};
-
-/// One harvested instrumentation hook, replayed verbatim.
-#[derive(Clone, Copy)]
-enum Hook {
-    Call(SiteId),
-    Return,
-    Entry(MethodId, Option<SiteId>),
-    Exit(MethodId),
-    Observe(MethodId),
-}
-
-/// Records the hook stream of one run; the VM drives it like any encoder.
-#[derive(Default)]
-struct HookTrace {
-    hooks: Vec<Hook>,
-}
-
-impl ContextEncoder for HookTrace {
-    type CallToken = ();
-    type EntryToken = ();
-
-    fn thread_start(&mut self, _entry: MethodId) {}
-
-    fn on_call(&mut self, site: SiteId) {
-        self.hooks.push(Hook::Call(site));
-    }
-
-    fn on_return(&mut self, _site: SiteId, _token: ()) {
-        self.hooks.push(Hook::Return);
-    }
-
-    fn on_entry(&mut self, method: MethodId, via_site: Option<SiteId>) {
-        self.hooks.push(Hook::Entry(method, via_site));
-    }
-
-    fn on_exit(&mut self, method: MethodId, _token: ()) {
-        self.hooks.push(Hook::Exit(method));
-    }
-
-    fn observe(&mut self, at: MethodId) -> Capture {
-        self.hooks.push(Hook::Observe(at));
-        Capture::None
-    }
-
-    fn counts(&self) -> OpCounts {
-        OpCounts::default()
-    }
-
-    fn name(&self) -> &'static str {
-        "hook-trace"
-    }
-}
-
-/// Replays the stream into `encoder`, pushing every capture into `out`.
-/// Call and entry tokens are kept on LIFO stacks, exactly as the
-/// interpreter's native stack would carry them. Truncated streams are
-/// fine: `thread_start` resets the encoder, and a prefix of a valid trace
-/// never pops an un-pushed token.
-fn replay<E: ContextEncoder>(
-    entry: MethodId,
-    hooks: &[Hook],
-    encoder: &mut E,
-    out: &mut Vec<Capture>,
-) {
-    encoder.thread_start(entry);
-    let mut calls: Vec<(SiteId, E::CallToken)> = Vec::with_capacity(256);
-    let mut entries: Vec<(MethodId, E::EntryToken)> = Vec::with_capacity(256);
-    for &hook in hooks {
-        match hook {
-            Hook::Call(site) => calls.push((site, encoder.on_call(site))),
-            Hook::Return => {
-                let (site, token) = calls.pop().expect("balanced trace prefix");
-                encoder.on_return(site, token);
-            }
-            Hook::Entry(method, via) => entries.push((method, encoder.on_entry(method, via))),
-            Hook::Exit(method) => {
-                let (entered, token) = entries.pop().expect("balanced trace prefix");
-                debug_assert_eq!(entered, method);
-                encoder.on_exit(method, token);
-            }
-            Hook::Observe(at) => out.push(encoder.observe(at)),
-        }
-    }
-}
 
 /// What one verification replay saw; both encoders must agree on all of it.
 #[derive(PartialEq)]
@@ -137,34 +50,6 @@ struct Verified {
     captures: Vec<Capture>,
     counts: OpCounts,
     ucp_detections: u64,
-}
-
-/// Hook throughput (hooks/sec) of `repeat` replays, best of `passes`
-/// timed passes. Each pass gets a fresh encoder and one untimed warm-up
-/// replay, so the clock measures steady-state hook dispatch.
-fn measure<E: ContextEncoder>(
-    entry: MethodId,
-    hooks: &[Hook],
-    repeat: usize,
-    passes: usize,
-    mut make: impl FnMut() -> E,
-) -> (f64, u64) {
-    let mut best_ns = u64::MAX;
-    let mut out = Vec::new();
-    for _ in 0..passes {
-        let mut encoder = make();
-        out.clear();
-        replay(entry, hooks, &mut encoder, &mut out);
-        let start = Instant::now();
-        for _ in 0..repeat {
-            out.clear();
-            replay(entry, hooks, &mut encoder, &mut out);
-            black_box(&out);
-        }
-        best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
-    }
-    let replayed = (hooks.len() * repeat) as u64;
-    (replayed as f64 * 1e9 / best_ns as f64, best_ns)
 }
 
 /// One benchmarked workload: a program plus the plan scope it runs under.
@@ -256,13 +141,7 @@ fn main() -> ExitCode {
         let entry = w.program.entry();
 
         // Harvest the hook stream once (the VM is deterministic).
-        let mut trace = HookTrace::default();
-        let mut vm = Vm::new(
-            &w.program,
-            VmConfig::default().with_collect(CollectMode::ObservesOnly),
-        );
-        vm.run(&mut trace, &mut NullCollector).expect("harvest run");
-        let mut hooks = trace.hooks;
+        let mut hooks = harvest(&w.program).expect("harvest run");
         let harvested = hooks.len();
         hooks.truncate(STREAM_CAP);
 
@@ -287,20 +166,7 @@ fn main() -> ExitCode {
             w.name
         );
         let unique: HashSet<&Capture> = map_seen.captures.iter().collect();
-        let max_depth = {
-            let (mut depth, mut max) = (0usize, 0usize);
-            for hook in &hooks {
-                match hook {
-                    Hook::Entry(..) => {
-                        depth += 1;
-                        max = max.max(depth);
-                    }
-                    Hook::Exit(_) => depth -= 1,
-                    _ => {}
-                }
-            }
-            max
-        };
+        let max_depth = max_entry_depth(&hooks);
 
         let (map_rate, _) = measure(entry, &hooks, repeat, passes, || DeltaEncoder::new(&plan));
         let (tab_rate, tab_ns) = measure(entry, &hooks, repeat, passes, || {

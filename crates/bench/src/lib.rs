@@ -22,5 +22,6 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod hooks;
 pub mod perf;
 pub mod table;

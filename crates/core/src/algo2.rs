@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use deltapath_callgraph::{topological_order, CallGraph, EdgeIx, NodeIx};
 use deltapath_ir::SiteId;
-use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
+use deltapath_telemetry::{names, NullTelemetry, ScopedSpan, Telemetry};
 
 use crate::error::EncodeError;
 use crate::width::EncodingWidth;
@@ -133,12 +133,20 @@ impl Encoding {
     /// As [`Encoding::analyze`], emitting timed spans into `sink`:
     ///
     /// * `algo2.territories` — one span per restart-loop iteration, with the
-    ///   iteration number and current anchor count;
+    ///   iteration number and current anchor count; with territory workers,
+    ///   each worker additionally emits an `algo2.territory_walk` span from
+    ///   its own thread and the in-order recombination an
+    ///   `algo2.territory_merge` span;
+    /// * `algo2.interval_walk` — the symbolic CAV/ICC propagation over the
+    ///   topological order, one span per iteration;
     /// * `algo2.restart` — a point event each time overflow promotes a new
     ///   anchor (single mode carries the promoted node, batch mode the
     ///   number of anchors added);
     /// * `algo2.analyze` — the whole analysis, with node/edge/anchor/
     ///   restart counts and the final `max_icc` (saturated to `u64`).
+    ///
+    /// Spans are opened and closed pairwise (`span_open`/`span_close`), so
+    /// hierarchical sinks see the sub-phases nested under `algo2.analyze`.
     ///
     /// Against a disabled sink this is exactly [`Encoding::analyze`]: no
     /// clocks are read and no counts are computed.
@@ -152,7 +160,7 @@ impl Encoding {
         config: &Algo2Config,
         sink: &dyn Telemetry,
     ) -> Result<Self, EncodeError> {
-        let total = SpanTimer::start(sink);
+        let total = ScopedSpan::enter(sink, names::ALGO2_ANALYZE);
         if graph.node_count() == 0 || graph.roots().is_empty() {
             return Err(EncodeError::NoRoots);
         }
@@ -175,16 +183,13 @@ impl Encoding {
         // at least one anchor, so it runs at most `n - base_anchor_count + 1`
         // times.
         'again: loop {
-            let territories_timer = SpanTimer::start(sink);
+            let territories_span = ScopedSpan::enter(sink, names::ALGO2_TERRITORIES);
             let (nanchors, eanchors) =
-                identify_territories(graph, excluded, &is_anchor, config.territory_workers);
+                identify_territories(graph, excluded, &is_anchor, config.territory_workers, sink);
             if sink.enabled() {
                 let anchor_count = is_anchor.iter().filter(|&&b| b).count() as u64;
-                territories_timer.finish(
-                    sink,
-                    "algo2.territories",
-                    &[("iteration", restarts as u64), ("anchors", anchor_count)],
-                );
+                territories_span
+                    .finish(&[("iteration", restarts as u64), ("anchors", anchor_count)]);
             }
 
             let mut cav: Vec<HashMap<NodeIx, u128>> = (0..n)
@@ -194,6 +199,10 @@ impl Encoding {
             let mut site_av: HashMap<SiteId, u128> = HashMap::new();
             let mut batch_pending: Vec<NodeIx> = Vec::new();
 
+            // The symbolic CAV/ICC interval walk over the topological
+            // order. On overflow restart the guard drop-closes the span,
+            // so every iteration shows up in the profile.
+            let walk_span = ScopedSpan::enter(sink, names::ALGO2_INTERVAL_WALK);
             for &node in &order {
                 for &e in graph.in_edges(node) {
                     if excluded.contains(&e) {
@@ -225,7 +234,7 @@ impl Encoding {
                             overflow_anchors.push(overflowing_caller);
                             restarts += 1;
                             sink.event(
-                                "algo2.restart",
+                                names::ALGO2_RESTART,
                                 &[
                                     ("restart", restarts as u64),
                                     ("anchor", overflowing_caller.index() as u64),
@@ -244,6 +253,10 @@ impl Encoding {
                     }
                 }
             }
+            walk_span.finish(&[
+                ("iteration", restarts as u64),
+                ("sites", site_av.len() as u64),
+            ]);
             if !batch_pending.is_empty() {
                 let mut added = 0u64;
                 for caller in batch_pending {
@@ -260,7 +273,7 @@ impl Encoding {
                 }
                 restarts += 1;
                 sink.event(
-                    "algo2.restart",
+                    names::ALGO2_RESTART,
                     &[("restart", restarts as u64), ("added", added)],
                 );
                 continue 'again;
@@ -277,20 +290,14 @@ impl Encoding {
                 .collect();
             anchors.sort_unstable();
             debug_assert_eq!(anchors.len(), base_anchor_count + overflow_anchors.len());
-            if sink.enabled() {
-                total.finish(
-                    sink,
-                    "algo2.analyze",
-                    &[
-                        ("nodes", n as u64),
-                        ("edges", graph.edge_count() as u64),
-                        ("anchors", anchors.len() as u64),
-                        ("overflow_anchors", overflow_anchors.len() as u64),
-                        ("restarts", restarts as u64),
-                        ("max_icc", u64::try_from(max_icc).unwrap_or(u64::MAX)),
-                    ],
-                );
-            }
+            total.finish(&[
+                ("nodes", n as u64),
+                ("edges", graph.edge_count() as u64),
+                ("anchors", anchors.len() as u64),
+                ("overflow_anchors", overflow_anchors.len() as u64),
+                ("restarts", restarts as u64),
+                ("max_icc", u64::try_from(max_icc).unwrap_or(u64::MAX)),
+            ]);
             return Ok(Self {
                 width: config.width,
                 anchors,
@@ -355,13 +362,14 @@ fn identify_territories(
     excluded: &HashSet<EdgeIx>,
     is_anchor: &[bool],
     workers: usize,
+    sink: &dyn Telemetry,
 ) -> (Vec<Vec<NodeIx>>, Vec<Vec<NodeIx>>) {
     let n = graph.node_count();
     let anchor_count = is_anchor.iter().filter(|&&b| b).count();
     // Parallelism only pays once there are several territories to walk;
     // tiny graphs and single-anchor iterations stay on the reference path.
     if workers > 1 && anchor_count > 1 {
-        return identify_territories_parallel(graph, excluded, is_anchor, workers);
+        return identify_territories_parallel(graph, excluded, is_anchor, workers, sink);
     }
     let mut nanchors: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
     let mut eanchors: Vec<Vec<NodeIx>> = vec![Vec::new(); graph.edge_count()];
@@ -451,6 +459,7 @@ fn identify_territories_parallel(
     excluded: &HashSet<EdgeIx>,
     is_anchor: &[bool],
     workers: usize,
+    sink: &dyn Telemetry,
 ) -> (Vec<Vec<NodeIx>>, Vec<Vec<NodeIx>>) {
     let n = graph.node_count();
     let anchors: Vec<NodeIx> = (0..n)
@@ -469,9 +478,13 @@ fn identify_territories_parallel(
             .iter()
             .map(|&chunk| {
                 scope.spawn(move || {
+                    // Worker threads carry their own span: hierarchical
+                    // sinks record one lane per worker and merge them by
+                    // name into the cross-thread profile.
+                    let walk_span = ScopedSpan::enter(sink, names::ALGO2_TERRITORY_WALK);
                     let mut visited = vec![0u32; n];
                     let mut stack: Vec<NodeIx> = Vec::new();
-                    chunk
+                    let out: WalkedChunk = chunk
                         .iter()
                         .enumerate()
                         .map(|(i, &r)| {
@@ -487,7 +500,9 @@ fn identify_territories_parallel(
                             );
                             (r, nodes, edges)
                         })
-                        .collect()
+                        .collect();
+                    walk_span.finish(&[("anchors", chunk.len() as u64)]);
+                    out
                 })
             })
             .collect();
@@ -497,6 +512,7 @@ fn identify_territories_parallel(
             .collect()
     });
 
+    let merge_span = ScopedSpan::enter(sink, names::ALGO2_TERRITORY_MERGE);
     let mut nanchors: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
     let mut eanchors: Vec<Vec<NodeIx>> = vec![Vec::new(); graph.edge_count()];
     for (r, nodes, edges) in walked.into_iter().flatten() {
@@ -507,6 +523,7 @@ fn identify_territories_parallel(
             eanchors[e.index()].push(r);
         }
     }
+    merge_span.finish(&[("anchors", anchors.len() as u64)]);
     (nanchors, eanchors)
 }
 

@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use deltapath_callgraph::{back_edges, Analysis, CallGraph, GraphConfig, ScopeFilter};
 use deltapath_ir::{MethodId, Program, SiteId};
-use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
+use deltapath_telemetry::{names, NullTelemetry, ScopedSpan, Telemetry};
 
 use crate::algo2::{Algo2Config, Encoding};
 use crate::decode::{DecodeOptions, Decoder};
@@ -209,18 +209,12 @@ impl EncodingPlan {
             scope: config.scope,
             include_dynamic: false,
         };
-        let graph_timer = SpanTimer::start(sink);
+        let graph_span = ScopedSpan::enter(sink, names::PLAN_GRAPH_BUILD);
         let graph = CallGraph::build(program, &graph_config);
-        if sink.enabled() {
-            graph_timer.finish(
-                sink,
-                "plan.graph_build",
-                &[
-                    ("nodes", graph.node_count() as u64),
-                    ("edges", graph.edge_count() as u64),
-                ],
-            );
-        }
+        graph_span.finish(&[
+            ("nodes", graph.node_count() as u64),
+            ("edges", graph.edge_count() as u64),
+        ]);
         Self::from_graph_with(program, graph, config, sink)
     }
 
@@ -238,10 +232,13 @@ impl EncodingPlan {
         Self::from_graph_with(program, graph, config, &NullTelemetry)
     }
 
-    /// As [`EncodingPlan::from_graph`], emitting timed spans into `sink`:
-    /// `plan.sids` for SID computation, the `algo2.*` spans of
-    /// [`Encoding::analyze_with`], and a `plan.analyze` span covering the
-    /// whole plan construction with method/site/anchor counts.
+    /// As [`EncodingPlan::from_graph`], emitting timed spans into `sink`,
+    /// all nested under a `plan.analyze` span covering the whole plan
+    /// construction: `plan.back_edges` for back-edge classification,
+    /// the `algo2.*` spans of [`Encoding::analyze_with`], `plan.sids` for
+    /// SID computation and `plan.instructions` for per-site instruction
+    /// packaging. Against a disabled sink this is exactly
+    /// [`EncodingPlan::from_graph`].
     ///
     /// # Errors
     ///
@@ -252,28 +249,32 @@ impl EncodingPlan {
         config: &PlanConfig,
         sink: &dyn Telemetry,
     ) -> Result<Self, EncodeError> {
-        let total = SpanTimer::start(sink);
+        let total = ScopedSpan::enter(sink, names::PLAN_ANALYZE);
         if !config.width.is_executable() {
             return Err(EncodeError::NotExecutable {
                 width: config.width,
             });
         }
+        let back_edge_span = ScopedSpan::enter(sink, names::PLAN_BACK_EDGES);
         let info = back_edges(&graph);
         let excluded: HashSet<_> = info.back_edges.iter().copied().collect();
         let mut forced = info.headers.clone();
         if config.anchor_ucp_entries {
             forced.extend_from_slice(graph.ucp_entry_candidates());
         }
+        back_edge_span.finish(&[
+            ("back_edges", info.back_edges.len() as u64),
+            ("forced_anchors", forced.len() as u64),
+        ]);
         let algo2_config = Algo2Config::new(config.width)
             .with_forced_anchors(forced)
             .with_territory_workers(config.territory_workers);
         let encoding = Encoding::analyze_with(&graph, &excluded, &algo2_config, sink)?;
-        let sid_timer = SpanTimer::start(sink);
+        let sid_span = ScopedSpan::enter(sink, names::PLAN_SIDS);
         let sids = SidTable::compute(&graph);
-        if sink.enabled() {
-            sid_timer.finish(sink, "plan.sids", &[("nodes", graph.node_count() as u64)]);
-        }
+        sid_span.finish(&[("nodes", graph.node_count() as u64)]);
 
+        let instr_span = ScopedSpan::enter(sink, names::PLAN_INSTRUCTIONS);
         let mut back_edge_calls = HashSet::new();
         for &e in &info.back_edges {
             let edge = graph.edge(e);
@@ -353,18 +354,17 @@ impl EncodingPlan {
             })
             .collect();
 
-        if sink.enabled() {
-            total.finish(
-                sink,
-                "plan.analyze",
-                &[
-                    ("methods", entries.len() as u64),
-                    ("sites", sites.len() as u64),
-                    ("anchors", encoding.anchors.len() as u64),
-                    ("back_edges", info.back_edges.len() as u64),
-                ],
-            );
-        }
+        instr_span.finish(&[
+            ("sites", sites.len() as u64),
+            ("entries", entries.len() as u64),
+        ]);
+
+        total.finish(&[
+            ("methods", entries.len() as u64),
+            ("sites", sites.len() as u64),
+            ("anchors", encoding.anchors.len() as u64),
+            ("back_edges", info.back_edges.len() as u64),
+        ]);
         Ok(Self {
             config: config.clone(),
             entry_method: program.entry(),

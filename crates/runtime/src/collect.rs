@@ -81,8 +81,11 @@ impl Collector for EventLog {
     }
 
     fn report_telemetry(&self, sink: &dyn Telemetry) {
-        sink.counter_add("collector.event_log.recorded", self.events.len() as u64);
-        sink.counter_add("collector.event_log.dropped", self.dropped);
+        sink.counter_add(
+            names::COLLECTOR_EVENT_LOG_RECORDED,
+            self.events.len() as u64,
+        );
+        sink.counter_add(names::COLLECTOR_EVENT_LOG_DROPPED, self.dropped);
         // The collector-neutral name external tooling keys on; the
         // `event_log.*` name above is kept for continuity.
         sink.counter_add(names::COLLECTOR_EVENTS_DROPPED, self.dropped);
@@ -116,16 +119,16 @@ impl Collector for RelativeCollector {
     }
 
     fn report_telemetry(&self, sink: &dyn Telemetry) {
-        sink.counter_add("collector.relative.contexts", self.log.len() as u64);
+        sink.counter_add(names::COLLECTOR_RELATIVE_CONTEXTS, self.log.len() as u64);
         sink.counter_add(
-            "collector.relative.frames_stored",
+            names::COLLECTOR_RELATIVE_FRAMES_STORED,
             self.log.frames_stored() as u64,
         );
         sink.counter_add(
-            "collector.relative.frames_raw",
+            names::COLLECTOR_RELATIVE_FRAMES_RAW,
             self.log.frames_raw() as u64,
         );
-        sink.counter_add("collector.relative.skipped", self.skipped);
+        sink.counter_add(names::COLLECTOR_RELATIVE_SKIPPED, self.skipped);
     }
 }
 
@@ -263,15 +266,15 @@ impl Collector for ContextStats {
     }
 
     fn report_telemetry(&self, sink: &dyn Telemetry) {
-        sink.counter_add("collector.stats.contexts", self.total_contexts);
-        sink.counter_add("collector.stats.unique", self.unique_contexts() as u64);
-        sink.gauge_max("collector.stats.max_depth", self.max_depth as u64);
+        sink.counter_add(names::COLLECTOR_STATS_CONTEXTS, self.total_contexts);
+        sink.counter_add(names::COLLECTOR_STATS_UNIQUE, self.unique_contexts() as u64);
+        sink.gauge_max(names::COLLECTOR_STATS_MAX_DEPTH, self.max_depth as u64);
         sink.gauge_max(
-            "collector.stats.max_stack_depth",
+            names::COLLECTOR_STATS_MAX_STACK_DEPTH,
             self.max_stack_depth as u64,
         );
-        sink.gauge_max("collector.stats.max_ucp", self.max_ucp as u64);
-        sink.gauge_max("collector.stats.max_id", self.max_id);
+        sink.gauge_max(names::COLLECTOR_STATS_MAX_UCP, self.max_ucp as u64);
+        sink.gauge_max(names::COLLECTOR_STATS_MAX_ID, self.max_id);
     }
 }
 

@@ -71,12 +71,14 @@ mod collect;
 mod compiled;
 mod encoder;
 mod encoders;
+mod profile;
 mod shard;
 mod vm;
 
 pub use collect::{Collector, ContextStats, EventLog, NullCollector, RelativeCollector};
-pub use compiled::CompiledDeltaEncoder;
+pub use compiled::{CompiledDeltaEncoder, HookSampler};
 pub use encoder::{report_op_counts, Capture, ContextEncoder, CostModel, OpCounts};
 pub use encoders::{DeltaEncoder, NullEncoder, StackWalkEncoder};
+pub use profile::{fold_path, ContextProfile};
 pub use shard::{ShardHandle, ShardedCollector, DEFAULT_BATCH, DEFAULT_SHARDS};
 pub use vm::{CollectMode, RunStats, Vm, VmConfig, VmError};

@@ -1,0 +1,148 @@
+//! Per-context entry counting and the *context flamegraph*: decode the
+//! collected encodings back into call stacks and weight each stack by how
+//! often it was entered — the paper's context-sensitive-profiling payoff,
+//! rendered in the standard folded-stack format.
+//!
+//! [`ContextStats`](crate::ContextStats) deliberately keeps only the
+//! *distinct* capture set (its sharded path memo-suppresses repeats, so
+//! per-capture counts cannot be recovered from it). [`ContextProfile`] is
+//! the collector that does count: a capture-keyed frequency map, cheap at
+//! runtime because DeltaPath captures are small hashable values, decoded
+//! only once per distinct context when folding.
+
+use std::collections::HashMap;
+
+use deltapath_core::Decoder;
+use deltapath_ir::{MethodId, Program};
+use deltapath_telemetry::FoldedStacks;
+
+use crate::encoder::Capture;
+use crate::Collector;
+
+/// A collector counting method entries per distinct captured context.
+///
+/// Works with any encoder: DeltaPath captures are decoded when folding,
+/// shadow-stack walks fold directly (which is what lets the flamegraph
+/// validate against the [`StackWalkEncoder`](crate::StackWalkEncoder)
+/// oracle), and undecodable captures (PCC hashes, CCT node indices) are
+/// counted but reported as skipped.
+#[derive(Clone, Debug, Default)]
+pub struct ContextProfile {
+    counts: HashMap<Capture, u64>,
+}
+
+impl ContextProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct captured contexts.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total entries recorded across all contexts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().fold(0, |a, &c| a.saturating_add(c))
+    }
+
+    /// The capture-keyed counts (unordered).
+    pub fn counts(&self) -> impl Iterator<Item = (&Capture, u64)> {
+        self.counts.iter().map(|(c, &n)| (c, n))
+    }
+
+    /// Absorbs another profile (commutative, lossless).
+    pub fn merge(&mut self, other: &ContextProfile) {
+        for (capture, &count) in &other.counts {
+            let slot = self.counts.entry(capture.clone()).or_insert(0);
+            *slot = slot.saturating_add(count);
+        }
+    }
+
+    /// Folds the profile into flamegraph stacks weighted by entry count,
+    /// decoding DeltaPath captures through `decoder` (the memoized piece
+    /// cache makes repeated anchors cheap) and folding shadow-stack walks
+    /// directly. Returns the stacks plus the number of *entries* that could
+    /// not be rendered as a call path: capture kinds with no decodable
+    /// context (PCC, CCT, hybrid, none) and DeltaPath captures taken inside
+    /// code the plan never encoded (entries in dynamically loaded classes),
+    /// whose decode necessarily fails.
+    pub fn folded(&self, program: &Program, decoder: &Decoder) -> (FoldedStacks, u64) {
+        let mut stacks = FoldedStacks::new();
+        let mut skipped = 0u64;
+        for (capture, &count) in &self.counts {
+            match capture {
+                Capture::Delta(ctx) => match decoder.decode(ctx) {
+                    Ok(context) => stacks.add(&fold_path(program, &context), count),
+                    Err(_) => skipped = skipped.saturating_add(count),
+                },
+                Capture::Walk(stack) => {
+                    stacks.add(&fold_path(program, stack), count);
+                }
+                Capture::Pcc(_) | Capture::CctNode(_) | Capture::Hybrid { .. } | Capture::None => {
+                    skipped = skipped.saturating_add(count);
+                }
+            }
+        }
+        (stacks, skipped)
+    }
+}
+
+impl Collector for ContextProfile {
+    fn record_entry(&mut self, _method: MethodId, _true_depth: usize, capture: Capture) {
+        let slot = self.counts.entry(capture).or_insert(0);
+        *slot = slot.saturating_add(1);
+    }
+
+    fn record_observe(&mut self, _event: u32, _method: MethodId, _capture: Capture) {}
+}
+
+/// Joins a decoded context (outermost first) into one folded-stack line,
+/// sanitizing method names so they cannot break the `stack weight` format
+/// (frames may contain neither `;` nor whitespace). Public so oracles and
+/// tools composing their own [`FoldedStacks`] produce byte-identical frames.
+pub fn fold_path(program: &Program, context: &[MethodId]) -> String {
+    let mut out = String::new();
+    for (i, &m) in context.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        for ch in program.method_name(m).chars() {
+            out.push(if ch == ';' || ch.is_whitespace() {
+                '_'
+            } else {
+                ch
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut a = ContextProfile::new();
+        a.record_entry(MethodId::from_index(0), 1, Capture::Pcc(7));
+        a.record_entry(MethodId::from_index(0), 1, Capture::Pcc(7));
+        let mut b = ContextProfile::new();
+        b.record_entry(MethodId::from_index(0), 1, Capture::Pcc(7));
+        b.record_entry(MethodId::from_index(1), 1, Capture::CctNode(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total(), 4);
+        let pcc = a
+            .counts()
+            .find(|(c, _)| matches!(c, Capture::Pcc(7)))
+            .expect("pcc entry");
+        assert_eq!(pcc.1, 3);
+    }
+}

@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use deltapath_ir::MethodId;
-use deltapath_telemetry::{names, Telemetry};
+use deltapath_telemetry::{names, ScopedSpan, Telemetry};
 
 use crate::collect::{delta_parts, Collector, ContextStats};
 use crate::encoder::Capture;
@@ -307,10 +307,19 @@ impl ShardedCollector {
     /// Events still sitting in live handles are not included — flush or
     /// drop the handles first.
     pub fn stats(&self) -> ContextStats {
+        self.stats_with(&deltapath_telemetry::NullTelemetry)
+    }
+
+    /// As [`ShardedCollector::stats`], emitting a timed
+    /// `collector.shard.merge` span (with the shard count) into `sink`
+    /// for the cross-shard merge.
+    pub fn stats_with(&self, sink: &dyn Telemetry) -> ContextStats {
+        let span = ScopedSpan::enter(sink, names::COLLECTOR_SHARD_MERGE);
         let mut merged = ContextStats::new();
         for shard in &self.inner.shards {
             merged.merge(shard.lock().expect("shard poisoned").clone());
         }
+        span.finish(&[("shards", self.shard_count() as u64)]);
         merged
     }
 
@@ -331,7 +340,7 @@ impl ShardedCollector {
         sink.counter_add(names::COLLECTOR_SHARD_FLUSHES, self.flushes());
         sink.counter_add(names::COLLECTOR_SHARD_EVENTS, self.events());
         sink.counter_add(names::COLLECTOR_SHARD_MEMO_HITS, self.memo_hits());
-        self.stats().report_telemetry(sink);
+        self.stats_with(sink).report_telemetry(sink);
     }
 }
 

@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use deltapath_ir::{CallKind, MethodId, Origin, Program, Receiver, SiteId, Stmt};
-use deltapath_telemetry::{NullTelemetry, SpanTimer, Telemetry};
+use deltapath_telemetry::{names, NullTelemetry, ScopedSpan, Telemetry};
 
 use crate::collect::Collector;
 use crate::encoder::ContextEncoder;
@@ -216,7 +216,8 @@ impl<'p> Vm<'p> {
     ///
     /// [`VmError`] when a safety limit is hit (the encoder state is then
     /// unspecified; create a fresh `Vm` and encoder to retry). Failed runs
-    /// emit no telemetry.
+    /// emit no statistics — only the `vm.run` span closes, so hierarchical
+    /// sinks keep their per-thread span stacks balanced.
     pub fn run<E: ContextEncoder>(
         &mut self,
         encoder: &mut E,
@@ -228,40 +229,38 @@ impl<'p> Vm<'p> {
         self.loaded.iter_mut().for_each(|l| *l = false);
 
         let sink = Arc::clone(&self.config.telemetry);
-        let timer = SpanTimer::start(sink.as_ref());
+        let span = ScopedSpan::enter(sink.as_ref(), names::VM_RUN);
         let entry = self.program.entry();
         encoder.thread_start(entry);
         self.invoke(entry, self.config.entry_param, None, 0, encoder, collector)?;
         if sink.enabled() {
-            self.report_run(sink.as_ref(), encoder, collector, timer);
+            self.report_run(sink.as_ref(), encoder, collector, span);
         }
         Ok(self.stats)
     }
 
     /// The run epilogue: statistics, encoder and collector reports, and
-    /// the `vm.run` span. Only called for enabled sinks.
+    /// the `vm.run` span. Only called for enabled sinks. The span is still
+    /// open while the encoder and collector report, so hierarchical sinks
+    /// nest their spans (e.g. `collector.shard.merge`) under `vm.run`.
     fn report_run<E: ContextEncoder>(
         &self,
         sink: &dyn Telemetry,
         encoder: &E,
         collector: &impl Collector,
-        timer: SpanTimer,
+        span: ScopedSpan<'_>,
     ) {
         let stats = &self.stats;
-        sink.counter_add("vm.calls", stats.calls);
-        sink.counter_add("vm.base_cost", stats.base_cost);
-        sink.counter_add("vm.dynamic_loads", stats.dynamic_loads);
-        sink.counter_add("vm.observes", stats.observes);
-        sink.counter_add("vm.entries_collected", stats.entries_collected);
-        sink.gauge_max("vm.max_call_depth", stats.max_call_depth as u64);
-        sink.observe("vm.call_depth_peak", stats.max_call_depth as u64);
+        sink.counter_add(names::VM_CALLS, stats.calls);
+        sink.counter_add(names::VM_BASE_COST, stats.base_cost);
+        sink.counter_add(names::VM_DYNAMIC_LOADS, stats.dynamic_loads);
+        sink.counter_add(names::VM_OBSERVES, stats.observes);
+        sink.counter_add(names::VM_ENTRIES_COLLECTED, stats.entries_collected);
+        sink.gauge_max(names::VM_MAX_CALL_DEPTH, stats.max_call_depth as u64);
+        sink.observe(names::VM_CALL_DEPTH_PEAK, stats.max_call_depth as u64);
         encoder.report_telemetry(sink);
         collector.report_telemetry(sink);
-        timer.finish(
-            sink,
-            "vm.run",
-            &[("calls", stats.calls), ("base_cost", stats.base_cost)],
-        );
+        span.finish(&[("calls", stats.calls), ("base_cost", stats.base_cost)]);
     }
 
     /// Statistics of the last (or in-progress) run.

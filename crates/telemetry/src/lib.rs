@@ -46,6 +46,7 @@ mod metrics;
 pub mod names;
 mod report;
 mod sink;
+pub mod spans;
 mod trace;
 
 pub use json::{Json, JsonError};
@@ -53,5 +54,9 @@ pub use metrics::{log2_bucket, log2_bucket_limit, Counter, Log2Histogram, MaxGau
 pub use report::{
     HistogramSnapshot, ReportError, RunReport, LINT_REPORT_SCHEMA, RUN_REPORT_SCHEMA,
 };
-pub use sink::{NullTelemetry, Recorder, SpanTimer, Telemetry};
+pub use sink::{NullTelemetry, Recorder, ScopedSpan, SpanTimer, Telemetry};
+pub use spans::{
+    FoldedParseError, FoldedStacks, Lane, LaneSnapshot, SpanEvent, SpanNode, SpanProfiler,
+    SpanSnapshot, SpanTree, DEFAULT_LANE_CAPACITY, TRACE_SCHEMA,
+};
 pub use trace::{EventTrace, TraceEvent, DEFAULT_TRACE_CAPACITY};

@@ -144,6 +144,28 @@ fn buckets_from_json(v: &Json) -> Result<Vec<(u8, u64)>, ReportError> {
 }
 
 impl HistogramSnapshot {
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`) of the recorded
+    /// values: the inclusive limit of the log2 bucket containing the
+    /// quantile, mirroring [`crate::metrics::Log2Histogram::quantile_limit`]
+    /// so consumers of serialized reports compute the same p50/p90/p99 the
+    /// live histogram would. Returns 0 when the snapshot is empty.
+    pub fn quantile_limit(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(bucket, count) in &self.buckets {
+            seen = seen.saturating_add(count);
+            if seen >= threshold {
+                return crate::metrics::log2_bucket_limit(usize::from(bucket));
+            }
+        }
+        self.buckets.last().map_or(0, |&(b, _)| {
+            crate::metrics::log2_bucket_limit(usize::from(b))
+        })
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("count".to_owned(), Json::from_u64(self.count)),
@@ -521,6 +543,29 @@ impl Recorder {
 mod tests {
     use super::*;
     use crate::sink::Telemetry;
+
+    #[test]
+    fn snapshot_quantiles_match_live_histogram() {
+        let hist = crate::metrics::Log2Histogram::default();
+        for v in [1u64, 2, 3, 5, 9, 17, 100, 1000, 65_000] {
+            hist.record(v);
+        }
+        let (count, sum, buckets) = hist.snapshot();
+        let snap = HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        };
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile_limit(q), hist.quantile_limit(q), "q={q}");
+        }
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile_limit(0.5), 0);
+    }
 
     fn sample() -> RunReport {
         let r = Recorder::with_trace_capacity(2);

@@ -45,6 +45,21 @@ pub trait Telemetry: Send + Sync {
     /// `duration_ns`. Implementations also feed the duration into the
     /// histogram `name` so spans get latency distributions for free.
     fn span(&self, name: &str, duration_ns: u64, attrs: &[(&str, u64)]);
+
+    /// Opens a nested span on the calling thread. Flat sinks (the default)
+    /// ignore opens and only see the matching [`Telemetry::span_close`];
+    /// hierarchical sinks such as `SpanProfiler` use the open/close pair to
+    /// maintain per-thread span stacks. Every `span_open` must be balanced
+    /// by a `span_close` with the same name on the same thread ([`ScopedSpan`]
+    /// guarantees this even across early returns).
+    fn span_open(&self, _name: &str) {}
+
+    /// Closes the innermost open span named `name` on the calling thread.
+    /// The default forwards to [`Telemetry::span`], so flat sinks record
+    /// nested spans exactly like flat ones.
+    fn span_close(&self, name: &str, duration_ns: u64, attrs: &[(&str, u64)]) {
+        self.span(name, duration_ns, attrs);
+    }
 }
 
 /// The no-op sink: records nothing, costs nothing.
@@ -220,6 +235,54 @@ impl SpanTimer {
     }
 }
 
+/// RAII guard for *nested* span emission.
+///
+/// `enter` calls [`Telemetry::span_open`] and starts the clock (only when
+/// the sink is enabled); `finish` — or `Drop`, on early return — calls
+/// [`Telemetry::span_close`], so the open/close pairing hierarchical sinks
+/// rely on can never be unbalanced by a `?`. Against [`NullTelemetry`]
+/// both ends reduce to a branch on a `None`.
+pub struct ScopedSpan<'a> {
+    sink: &'a dyn Telemetry,
+    name: &'a str,
+    started: Option<Instant>,
+}
+
+impl<'a> ScopedSpan<'a> {
+    /// Opens the span `name` on `sink` and starts timing (a no-op for
+    /// disabled sinks).
+    pub fn enter(sink: &'a dyn Telemetry, name: &'a str) -> Self {
+        let started = sink.enabled().then(|| {
+            sink.span_open(name);
+            Instant::now()
+        });
+        Self {
+            sink,
+            name,
+            started,
+        }
+    }
+
+    /// Closes the span with structured attributes. Prefer this over
+    /// dropping: `Drop` closes the span too, but without attributes.
+    pub fn finish(mut self, attrs: &[(&str, u64)]) {
+        self.close(attrs);
+    }
+
+    fn close(&mut self, attrs: &[(&str, u64)]) {
+        if let Some(started) = self.started.take() {
+            let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.sink.span_close(self.name, elapsed, attrs);
+        }
+    }
+}
+
+impl Drop for ScopedSpan<'_> {
+    fn drop(&mut self) {
+        self.close(&[]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +339,28 @@ mod tests {
         c.add(10);
         c.add(5);
         assert_eq!(r.counter_values(), vec![("hot".to_owned(), 15)]);
+    }
+
+    #[test]
+    fn scoped_span_closes_on_finish_and_on_drop() {
+        let r = Recorder::new();
+        let span = ScopedSpan::enter(&r, "outer");
+        span.finish(&[("k", 1)]);
+        {
+            let _span = ScopedSpan::enter(&r, "dropped");
+            // early return path: the guard closes the span with no attrs.
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].attrs, vec![("k".to_owned(), 1)]);
+        assert_eq!(events[1].name, "dropped");
+        assert!(events[1].attrs.is_empty());
+        assert_eq!(r.histogram("dropped").count(), 1);
+
+        // Inert against the null sink: no clock, no records.
+        let span = ScopedSpan::enter(&NullTelemetry, "x");
+        drop(span);
     }
 
     #[test]

@@ -3,37 +3,25 @@
 //! sensitive profiling is powerful as it associates data such as execution
 //! frequencies ... with calling contexts").
 //!
-//! The profiler counts how often each distinct encoded context reaches every
-//! application method entry. Because DeltaPath encodings are precise and
-//! hashable, the per-context counters need no tree structure at runtime —
-//! aggregation happens on the compact encoded values, and only the hot
-//! contexts are decoded afterwards.
+//! [`ContextProfile`] counts how often each distinct encoded context
+//! reaches every application method entry. Because DeltaPath encodings are
+//! precise and hashable, the per-context counters need no tree structure at
+//! runtime — aggregation happens on the compact encoded values, and each
+//! distinct context is decoded exactly once afterwards, when the profile is
+//! folded into a flamegraph.
 //!
 //! Run with: `cargo run --example profiling`
+//!
+//! The folded-stack output written to `target/profiling.folded` is the
+//! standard flamegraph input format: render it with
+//! `flamegraph.pl target/profiling.folded > profiling.svg` (or inferno).
 
 use std::collections::HashMap;
 
 use deltapath::workloads::specjvm::program;
 use deltapath::{
-    Capture, CollectMode, Collector, DeltaEncoder, EncodedContext, EncodingPlan, MethodId,
-    PlanConfig, ScopeFilter, Vm, VmConfig,
+    CollectMode, ContextProfile, DeltaEncoder, EncodingPlan, PlanConfig, ScopeFilter, Vm, VmConfig,
 };
-
-/// A collector counting invocations per encoded calling context.
-#[derive(Default)]
-struct ContextProfiler {
-    counts: HashMap<EncodedContext, u64>,
-}
-
-impl Collector for ContextProfiler {
-    fn record_entry(&mut self, _method: MethodId, _true_depth: usize, capture: Capture) {
-        if let Capture::Delta(ctx) = capture {
-            *self.counts.entry(ctx).or_default() += 1;
-        }
-    }
-
-    fn record_observe(&mut self, _event: u32, _method: MethodId, _capture: Capture) {}
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Profile the compress-like benchmark, application scope only (the
@@ -49,37 +37,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         VmConfig::default().with_collect(CollectMode::Entries),
     );
     let mut encoder = DeltaEncoder::new(&plan);
-    let mut profiler = ContextProfiler::default();
-    let stats = vm.run(&mut encoder, &mut profiler)?;
+    let mut profile = ContextProfile::new();
+    let stats = vm.run(&mut encoder, &mut profile)?;
 
     println!(
         "profiled {} dynamic calls; {} distinct calling contexts\n",
         stats.calls,
-        profiler.counts.len()
+        profile.len()
     );
 
-    // Decode only the hot contexts (the profiler never decoded at runtime).
-    let decoder = plan.decoder();
-    let mut ranked: Vec<(&EncodedContext, &u64)> = profiler.counts.iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.id.cmp(&b.0.id)));
+    // Fold into flamegraph stacks: each distinct context decodes once, and
+    // its full call path is weighted by how often it was entered. Captures
+    // taken inside code the plan never encoded cannot decode and are
+    // reported as skipped rather than guessed.
+    let (folded, skipped) = profile.folded(&program, &plan.decoder());
     println!("hottest calling contexts:");
-    for (ctx, count) in ranked.iter().take(8) {
-        let context = decoder.decode(ctx)?;
-        let pretty: Vec<String> = context.iter().map(|&m| program.method_name(m)).collect();
-        println!("{count:>8}x  {}", pretty.join(" -> "));
+    let mut ranked: Vec<(&str, u64)> = folded.iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    for (stack, count) in ranked.iter().take(8) {
+        println!("{count:>8}x  {}", stack.replace(';', " -> "));
     }
+    if skipped > 0 {
+        println!("    (plus {skipped} entries in code outside the encoded scope)");
+    }
+
+    // The same folded text is the input format of flamegraph.pl/inferno.
+    let out = "target/profiling.folded";
+    std::fs::write(out, folded.render())?;
+    println!("\nwrote {} folded stacks to {out}", folded.len());
+    println!("render with: flamegraph.pl {out} > profiling.svg");
 
     // Aggregate by leaf method for a classic flat profile, to show both
     // views come from the same data.
-    let mut flat: HashMap<MethodId, u64> = HashMap::new();
-    for (ctx, count) in &profiler.counts {
-        *flat.entry(ctx.at).or_default() += *count;
+    let mut flat: HashMap<&str, u64> = HashMap::new();
+    for (stack, count) in folded.iter() {
+        let leaf = stack.rsplit(';').next().expect("stacks are non-empty");
+        *flat.entry(leaf).or_default() += count;
     }
     let mut flat: Vec<_> = flat.into_iter().collect();
-    flat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    flat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     println!("\nflat profile (same run):");
     for (method, count) in flat.iter().take(5) {
-        println!("{count:>8}x  {}", program.method_name(*method));
+        println!("{count:>8}x  {method}");
     }
     Ok(())
 }

@@ -7,9 +7,11 @@
 //! deltapath dot <benchmark> [--scope app|all]
 //! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk|cct]
 //! deltapath decode <benchmark>     # run, capture, decode a few contexts
-//! deltapath report <benchmark> [--encoder NAME]   # machine-readable run report (JSON)
-//! deltapath report --from FILE                    # re-emit a saved report (round-trip)
-//! deltapath trace <benchmark> [--encoder NAME]    # the same report as JSON lines
+//! deltapath report <benchmark> [--encoder NAME] [--json]   # run report (summary or JSON)
+//! deltapath report --from FILE [--json]                    # re-read a saved report
+//! deltapath trace <benchmark> [--encoder NAME] [--chrome FILE]  # JSON lines / Chrome trace
+//! deltapath flamegraph <benchmark> [--contexts|--spans] [--out FILE]
+//! deltapath flamegraph --all --check               # validate against the stack-walk oracle
 //! deltapath lint <benchmark>|--all [--json] [--deny-warnings] [--scope app|all] [--width BITS]
 //! ```
 
@@ -18,12 +20,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use deltapath::baselines::{CctEncoder, PccEncoder, PccWidth};
+use deltapath::telemetry::Json;
 use deltapath::workloads::specjvm::{program, suite};
 use deltapath::{
-    Analysis, CallGraph, Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder, ContextStats,
-    DeltaEncoder, EncodingPlan, EncodingWidth, EventLog, GraphConfig, GraphStats, NullCollector,
-    NullEncoder, PlanConfig, Program, Recorder, RunReport, ScopeFilter, StackWalkEncoder, Vm,
-    VmConfig,
+    audit_plan_with, Analysis, CallGraph, Capture, CollectMode, CompiledDeltaEncoder,
+    ContextEncoder, ContextProfile, ContextStats, DeltaEncoder, EncodingPlan, EncodingWidth,
+    EventLog, FoldedStacks, GraphConfig, GraphStats, NullCollector, NullEncoder, PlanConfig,
+    Program, RunReport, ScopeFilter, SpanProfiler, StackWalkEncoder, Telemetry, Vm, VmConfig,
 };
 
 fn main() -> ExitCode {
@@ -36,10 +39,11 @@ fn main() -> ExitCode {
         Some("decode") => cmd_decode(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("flamegraph") => cmd_flamegraph(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: deltapath <list|inspect|dot|run|decode|report|trace|lint> [benchmark] [options]\n\
+                "usage: deltapath <list|inspect|dot|run|decode|report|trace|flamegraph|lint> [benchmark] [options]\n\
                  \n\
                  list                      list the bundled SPECjvm2008-like benchmarks\n\
                  inspect <bench>           static characteristics and encoding plan summary\n\
@@ -50,10 +54,21 @@ fn main() -> ExitCode {
                  \x20   --encoder NAME     native|pcc|deltapath|deltapath-nocpt|\n\
                  \x20                      compiled|compiled-nocpt|stackwalk|cct\n\
                  decode <bench>            run, capture, and decode example contexts\n\
-                 report <bench>            run with telemetry; print the run report as JSON\n\
+                 report <bench>            run with telemetry; print a human-readable summary\n\
+                 \x20                      (histograms as p50/p90/p99 upper bounds)\n\
+                 \x20   --json             the full machine-readable report instead\n\
                  \x20   --encoder NAME     as for `run` (default: deltapath)\n\
-                 \x20   --from FILE        re-emit a saved report (JSON or JSONL) instead\n\
-                 trace <bench>             like `report`, but printed as JSON lines\n\
+                 \x20   --from FILE        read a saved report (JSON or JSONL) instead of running\n\
+                 trace <bench>             like `report --json`, but printed as JSON lines\n\
+                 \x20   --chrome FILE      write a Chrome trace-event file (deltapath.trace.v2)\n\
+                 \x20                      of the span tree instead of printing JSONL\n\
+                 flamegraph <bench>        folded flamegraph stacks (inferno-compatible) on stdout\n\
+                 \x20   --contexts         decoded calling contexts weighted by entries (default)\n\
+                 \x20   --spans            self-time of the analysis/audit/run span tree\n\
+                 \x20   --encoder NAME     deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk\n\
+                 \x20   --scope app|all    selective vs full encoding (default: app)\n\
+                 \x20   --out FILE         write to FILE instead of stdout\n\
+                 \x20   --check [--all]    validate flamegraphs against the stack-walk oracle\n\
                  lint <bench>|--all        statically audit the encoding plan (DP0xx diagnostics)\n\
                  \x20   --json             machine-readable report (schema deltapath.lint.v1)\n\
                  \x20   --deny-warnings    exit with failure on warnings, not just errors\n\
@@ -308,23 +323,29 @@ fn cmd_decode(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs `bench` under `--encoder` with a [`Recorder`] attached to both the
-/// plan analysis and the VM, and freezes the result into a [`RunReport`].
-fn telemetry_report(args: &[String]) -> Result<RunReport, String> {
+/// Runs `bench` under `--encoder` with a hierarchical [`SpanProfiler`]
+/// attached end to end — plan analysis, the static plan audit, and the VM
+/// run all record their nested spans (and every metric) into it.
+fn profiled_run(args: &[String]) -> Result<(Program, String, Arc<SpanProfiler>), String> {
     let p = load(args)?;
     let encoder_name = flag(args, "--encoder").unwrap_or_else(|| "deltapath".to_owned());
-    let recorder = Arc::new(Recorder::new());
+    let profiler = Arc::new(SpanProfiler::new());
+    let sink: &dyn Telemetry = profiler.as_ref();
     let plan_config = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
     let vm_config = VmConfig::default()
         .with_collect(CollectMode::Entries)
-        .with_telemetry(recorder.clone());
+        .with_telemetry(profiler.clone());
+    let analyzed = |config: &PlanConfig| -> Result<EncodingPlan, String> {
+        let plan = EncodingPlan::analyze_with(&p, config, sink).map_err(|e| e.to_string())?;
+        audit_plan_with(&p, &plan, sink);
+        Ok(plan)
+    };
     match encoder_name.as_str() {
         "native" => {
             run_one(&p, vm_config, NullEncoder)?;
         }
         "pcc" => {
-            let plan = EncodingPlan::analyze_with(&p, &plan_config, recorder.as_ref())
-                .map_err(|e| e.to_string())?;
+            let plan = analyzed(&plan_config)?;
             run_one(
                 &p,
                 vm_config,
@@ -332,26 +353,20 @@ fn telemetry_report(args: &[String]) -> Result<RunReport, String> {
             )?;
         }
         "deltapath" => {
-            let plan = EncodingPlan::analyze_with(&p, &plan_config, recorder.as_ref())
-                .map_err(|e| e.to_string())?;
+            let plan = analyzed(&plan_config)?;
             run_one(&p, vm_config, DeltaEncoder::new(&plan))?;
         }
         "deltapath-nocpt" => {
-            let plan =
-                EncodingPlan::analyze_with(&p, &plan_config.with_cpt(false), recorder.as_ref())
-                    .map_err(|e| e.to_string())?;
+            let plan = analyzed(&plan_config.with_cpt(false))?;
             run_one(&p, vm_config, DeltaEncoder::new(&plan))?;
         }
         "compiled" => {
-            let plan = EncodingPlan::analyze_with(&p, &plan_config, recorder.as_ref())
-                .map_err(|e| e.to_string())?;
+            let plan = analyzed(&plan_config)?;
             let compiled = plan.compile();
             run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?;
         }
         "compiled-nocpt" => {
-            let plan =
-                EncodingPlan::analyze_with(&p, &plan_config.with_cpt(false), recorder.as_ref())
-                    .map_err(|e| e.to_string())?;
+            let plan = analyzed(&plan_config.with_cpt(false))?;
             let compiled = plan.compile();
             run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?;
         }
@@ -363,7 +378,14 @@ fn telemetry_report(args: &[String]) -> Result<RunReport, String> {
         }
         other => return Err(format!("unknown encoder {other:?}")),
     }
-    Ok(recorder
+    Ok((p, encoder_name, profiler))
+}
+
+/// Runs `bench` instrumented (see [`profiled_run`]) and freezes the result
+/// into a [`RunReport`].
+fn telemetry_report(args: &[String]) -> Result<RunReport, String> {
+    let (p, encoder_name, profiler) = profiled_run(args)?;
+    Ok(profiler
         .report(p.name())
         .with_meta("benchmark", p.name())
         .with_meta("encoder", &encoder_name)
@@ -379,18 +401,293 @@ fn parse_report(text: &str) -> Result<RunReport, String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    if let Some(path) = flag(args, "--from") {
+    let json = args.iter().any(|a| a == "--json");
+    let report = if let Some(path) = flag(args, "--from") {
         let text =
             std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-        println!("{}", parse_report(&text)?.to_json());
-        return Ok(());
+        parse_report(&text)?
+    } else {
+        telemetry_report(args)?
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print_report_summary(&report);
     }
-    println!("{}", telemetry_report(args)?.to_json());
     Ok(())
 }
 
+/// The human-readable face of a [`RunReport`]: every counter and gauge,
+/// histograms condensed to p50/p90/p99 upper bounds (the inclusive limit
+/// of the log2 bucket holding the quantile) instead of raw bucket dumps.
+/// `--json` keeps the full bucket data under the stable schema.
+fn print_report_summary(r: &RunReport) {
+    let meta: Vec<String> = r.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("{} ({})", r.name, meta.join(", "));
+    if !r.counters.is_empty() {
+        println!("counters:");
+        for (name, value) in &r.counters {
+            println!("  {name:<44} {value}");
+        }
+    }
+    if !r.gauges.is_empty() {
+        println!("gauges:");
+        for (name, value) in &r.gauges {
+            println!("  {name:<44} {value}");
+        }
+    }
+    if !r.histograms.is_empty() {
+        println!("histograms:");
+        for (name, h) in &r.histograms {
+            println!(
+                "  {name:<44} n={} p50<={} p90<={} p99<={} sum={}",
+                h.count,
+                h.quantile_limit(0.5),
+                h.quantile_limit(0.9),
+                h.quantile_limit(0.99),
+                h.sum
+            );
+        }
+    }
+    println!(
+        "events: {} buffered, {} dropped (see `deltapath trace` for the full stream)",
+        r.events.len(),
+        r.dropped_events
+    );
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
-    print!("{}", telemetry_report(args)?.to_jsonl());
+    let chrome = flag(args, "--chrome");
+    let (p, encoder_name, profiler) = profiled_run(args)?;
+    if let Some(path) = chrome {
+        let snapshot = profiler.snapshot();
+        let trace = snapshot.chrome_trace(p.name());
+        std::fs::write(&path, &trace).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!(
+            "wrote Chrome trace for {} under {encoder_name} to {path} \
+             ({} lanes, {} span nodes; load in chrome://tracing or Perfetto)",
+            p.name(),
+            snapshot.lanes.len(),
+            snapshot.tree.len()
+        );
+        return Ok(());
+    }
+    let report = profiler
+        .report(p.name())
+        .with_meta("benchmark", p.name())
+        .with_meta("encoder", &encoder_name)
+        .with_meta("scope", "app");
+    print!("{}", report.to_jsonl());
+    Ok(())
+}
+
+/// Runs `p` under `encoder`, counting entries per distinct captured context
+/// with a [`ContextProfile`].
+fn profile_entries<E: ContextEncoder>(
+    p: &Program,
+    mut encoder: E,
+) -> Result<ContextProfile, String> {
+    let mut vm = Vm::new(p, VmConfig::default().with_collect(CollectMode::Entries));
+    let mut profile = ContextProfile::new();
+    vm.run(&mut encoder, &mut profile)
+        .map_err(|e| e.to_string())?;
+    Ok(profile)
+}
+
+/// The *context flamegraph*: folded call stacks weighted by entry counts,
+/// decoded from the captures `encoder_name` produced under `scope`.
+fn context_folded(
+    p: &Program,
+    encoder_name: &str,
+    scope: ScopeFilter,
+) -> Result<(FoldedStacks, u64), String> {
+    let plan_config = PlanConfig::default().with_scope(scope);
+    let cpt = !encoder_name.ends_with("-nocpt");
+    let plan = EncodingPlan::analyze(p, &plan_config.with_cpt(cpt)).map_err(|e| e.to_string())?;
+    let profile = match encoder_name {
+        "deltapath" | "deltapath-nocpt" => profile_entries(p, DeltaEncoder::new(&plan))?,
+        "compiled" | "compiled-nocpt" => {
+            let compiled = plan.compile();
+            profile_entries(p, CompiledDeltaEncoder::new(&compiled))?
+        }
+        "stackwalk" => profile_entries(p, StackWalkEncoder::full())?,
+        other => {
+            return Err(format!(
+                "encoder {other:?} does not produce decodable contexts \
+                 (use deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk)"
+            ))
+        }
+    };
+    Ok(profile.folded(p, &plan.decoder()))
+}
+
+/// Validates one benchmark's flamegraph pipeline end to end against the
+/// [`StackWalkEncoder`] shadow-stack oracle, under full-scope encoding.
+///
+/// The oracle is the walk run's stacks *filtered to plan-encoded methods*
+/// (the same ground truth the differential suite uses), keeping only
+/// entries whose true stack never crosses unencoded code. For closed-world
+/// benchmarks that is every entry, and the DeltaPath/compiled context
+/// flamegraphs must match it *exactly* — same stacks, same entry counts,
+/// nothing skipped. Benchmarks with dynamic class loading keep the exact
+/// check on the fully-encoded subset (each oracle stack's count is a lower
+/// bound on the decoded count, since a path through dynamic code may
+/// legitimately decode to the same filtered stack), plus conservation:
+/// both runs must account for every recorded entry. In all cases the
+/// DeltaPath and compiled encoders must agree stack for stack, the folded
+/// text must round-trip through [`FoldedStacks::parse`], and the span
+/// flamegraph's Chrome trace must be well-formed `deltapath.trace.v2`
+/// JSON.
+fn check_flamegraph(p: &Program) -> Result<(), String> {
+    use deltapath::ir::Origin;
+    use deltapath::runtime::fold_path;
+
+    let name = p.name().to_owned();
+    let closed = p.classes().iter().all(|c| c.origin() != Origin::Dynamic);
+    let plan = EncodingPlan::analyze(p, &PlanConfig::default().with_scope(ScopeFilter::All))
+        .map_err(|e| e.to_string())?;
+
+    // The oracle map: walked stacks filtered to planned methods.
+    let walk_profile = profile_entries(p, StackWalkEncoder::full())?;
+    let mut oracle = FoldedStacks::new();
+    let mut outside = 0u64; // entries at methods the plan never encoded
+    let mut through_dynamic = 0u64; // planned entries reached across unencoded frames
+    for (capture, count) in walk_profile.counts() {
+        let Capture::Walk(stack) = capture else {
+            unreachable!("walk run captures Walk")
+        };
+        let at = *stack.last().expect("non-empty walked stack");
+        if plan.entry(at).is_none() {
+            outside += count;
+        } else if stack.iter().any(|&m| plan.entry(m).is_none()) {
+            through_dynamic += count;
+        } else {
+            oracle.add(&fold_path(p, stack), count);
+        }
+    }
+
+    let (delta, delta_skipped) = context_folded(p, "deltapath", ScopeFilter::All)?;
+    let (compiled, compiled_skipped) = context_folded(p, "compiled", ScopeFilter::All)?;
+    if delta != compiled || delta_skipped != compiled_skipped {
+        return Err(format!(
+            "{name}: DeltaPath and compiled context flamegraphs diverge"
+        ));
+    }
+    if delta.total() + delta_skipped != walk_profile.total() {
+        return Err(format!(
+            "{name}: entry conservation failed ({} folded + {} skipped != {} recorded)",
+            delta.total(),
+            delta_skipped,
+            walk_profile.total()
+        ));
+    }
+    if closed {
+        if delta != oracle || delta_skipped > 0 || outside > 0 || through_dynamic > 0 {
+            let diff = delta.iter().find(|&(stack, w)| {
+                oracle.iter().find(|&(s, _)| s == stack).map(|(_, ow)| ow) != Some(w)
+            });
+            return Err(format!(
+                "{name}: context flamegraph diverges from the stack-walk oracle \
+                 ({delta_skipped} skipped; first difference: {diff:?})"
+            ));
+        }
+    } else {
+        for (stack, truth_count) in oracle.iter() {
+            let decoded = delta.iter().find(|&(s, _)| s == stack).map(|(_, w)| w);
+            if decoded.is_none() || decoded < Some(truth_count) {
+                return Err(format!(
+                    "{name}: oracle stack {stack:?} has {truth_count} entries but \
+                     the context flamegraph decoded {decoded:?}"
+                ));
+            }
+        }
+    }
+    let rendered = delta.render();
+    let parsed = FoldedStacks::parse(&rendered)
+        .map_err(|e| format!("{name}: folded output does not re-parse: {e}"))?;
+    if parsed != delta {
+        return Err(format!("{name}: folded render/parse round-trip lost data"));
+    }
+
+    // Span side: an instrumented run must produce a non-empty span tree
+    // whose Chrome trace export is well-formed.
+    let run_args = vec![name.clone()];
+    let (_, _, profiler) = profiled_run(&run_args)?;
+    let snapshot = profiler.snapshot();
+    if snapshot.tree.total_at(&["vm.run"]).is_none() {
+        return Err(format!("{name}: span tree is missing the vm.run root span"));
+    }
+    if snapshot.folded().is_empty() {
+        return Err(format!("{name}: span flamegraph is empty"));
+    }
+    let chrome = snapshot.chrome_trace(&name);
+    let parsed =
+        Json::parse(&chrome).map_err(|e| format!("{name}: Chrome trace is not valid JSON: {e}"))?;
+    let schema = parsed
+        .get("otherData")
+        .and_then(|d| d.get("schema"))
+        .and_then(Json::as_str);
+    if schema != Some(deltapath::telemetry::TRACE_SCHEMA) {
+        return Err(format!("{name}: Chrome trace schema tag missing or wrong"));
+    }
+    println!(
+        "{name}: ok ({} context stacks vs {} oracle stacks{}, {} span nodes, {} lanes)",
+        delta.len(),
+        oracle.len(),
+        if closed {
+            String::new()
+        } else {
+            format!(", {through_dynamic}+{outside} entries touching dynamic code")
+        },
+        snapshot.tree.len(),
+        snapshot.lanes.len()
+    );
+    Ok(())
+}
+
+/// `deltapath flamegraph`: folded-stack output (`--contexts` decodes
+/// captured calling contexts, `--spans` reports span-tree self time), or
+/// `--check` validation of the whole pipeline against the stack-walk
+/// oracle (the CI gate, usually with `--all`).
+fn cmd_flamegraph(args: &[String]) -> Result<(), String> {
+    let spans_mode = args.iter().any(|a| a == "--spans");
+    let contexts_mode = args.iter().any(|a| a == "--contexts");
+    if spans_mode && contexts_mode {
+        return Err("--contexts and --spans are mutually exclusive".to_owned());
+    }
+    if args.iter().any(|a| a == "--check") {
+        let programs: Vec<Program> = if args.iter().any(|a| a == "--all") {
+            suite().iter().map(|b| b.program()).collect()
+        } else {
+            vec![load(args)?]
+        };
+        for p in &programs {
+            check_flamegraph(p)?;
+        }
+        return Ok(());
+    }
+    let text = if spans_mode {
+        let (_, _, profiler) = profiled_run(args)?;
+        profiler.snapshot().folded().render()
+    } else {
+        let p = load(args)?;
+        let encoder_name = flag(args, "--encoder").unwrap_or_else(|| "deltapath".to_owned());
+        let (stacks, skipped) = context_folded(&p, &encoder_name, scope_of(args)?)?;
+        if skipped > 0 {
+            eprintln!("note: {skipped} entries had undecodable captures and were skipped");
+        }
+        stacks.render()
+    };
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            println!(
+                "wrote {} folded stack lines to {path} (render with inferno/flamegraph.pl)",
+                text.lines().count()
+            );
+        }
+        None => print!("{text}"),
+    }
     Ok(())
 }
 

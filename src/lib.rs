@@ -91,7 +91,7 @@ pub use deltapath_telemetry as telemetry;
 pub use deltapath_workloads as workloads;
 
 pub use deltapath_analysis::{
-    audit_compiled, audit_plan, AuditReport, Diagnostic, LintCode, Severity,
+    audit_compiled, audit_plan, audit_plan_with, AuditReport, Diagnostic, LintCode, Severity,
 };
 pub use deltapath_baselines::{
     BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth,
@@ -105,8 +105,11 @@ pub use deltapath_ir::{
     ArgExpr, ClassId, MethodId, MethodKind, Program, ProgramBuilder, Receiver, SiteId,
 };
 pub use deltapath_runtime::{
-    Capture, CollectMode, Collector, CompiledDeltaEncoder, ContextEncoder, ContextStats, CostModel,
-    DeltaEncoder, EventLog, NullCollector, NullEncoder, OpCounts, RunStats, ShardHandle,
-    ShardedCollector, StackWalkEncoder, Vm, VmConfig,
+    Capture, CollectMode, Collector, CompiledDeltaEncoder, ContextEncoder, ContextProfile,
+    ContextStats, CostModel, DeltaEncoder, EventLog, HookSampler, NullCollector, NullEncoder,
+    OpCounts, RunStats, ShardHandle, ShardedCollector, StackWalkEncoder, Vm, VmConfig,
 };
-pub use deltapath_telemetry::{NullTelemetry, Recorder, RunReport, Telemetry};
+pub use deltapath_telemetry::{
+    FoldedStacks, HistogramSnapshot, NullTelemetry, Recorder, RunReport, ScopedSpan, SpanProfiler,
+    SpanSnapshot, Telemetry,
+};
