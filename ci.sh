@@ -61,6 +61,24 @@ if [ "${1:-}" != "fast" ]; then
         --smoke --out target/bench-smoke
 fi
 
+# Scale smoke: generate a seeded 100k-method call graph in the
+# deltapath.graph.v1 exchange format, round-trip it through the importer
+# (parse(render(g)) must be byte-identical), then import + plan + lint it
+# under a territory budget. Everything here is seconds, not minutes — a
+# planning complexity regression shows up as a CI timeout long before the
+# million-node bench (`analysis_scale`) would catch it.
+if [ "${1:-}" != "fast" ]; then
+    step cargo run --quiet --release --bin deltapath -- generate \
+        --methods 100000 --seed 42 --out target/scale-smoke.graph
+    echo
+    echo "==> deltapath import --render (round-trip)"
+    cargo run --quiet --release --bin deltapath -- import \
+        target/scale-smoke.graph --render > target/scale-smoke.rt.graph
+    step cmp target/scale-smoke.graph target/scale-smoke.rt.graph
+    step cargo run --quiet --release --bin deltapath -- import \
+        target/scale-smoke.graph --lint --budget 32
+fi
+
 # The suite must pass under serial test execution too: concurrency bugs
 # (and tests accidentally depending on parallel scheduling) surface as
 # differences between the two runs.

@@ -1,42 +1,65 @@
 //! Graphviz DOT export for call graphs.
+//!
+//! Export streams through [`io::Write`] — a million-node graph renders in
+//! one pass with a bounded buffer instead of accumulating a multi-hundred-
+//! megabyte `String` first.
 
-use std::fmt::Write as _;
+use std::io;
 
 use deltapath_ir::Program;
 
 use crate::graph::CallGraph;
 
 impl CallGraph {
-    /// Renders the graph in Graphviz DOT syntax, with nodes labelled
-    /// `Class.method`. Roots are drawn with a double border.
-    pub fn to_dot(&self, program: &Program) -> String {
-        let mut out = String::from("digraph callgraph {\n  rankdir=TB;\n");
+    /// Streams the graph in Graphviz DOT syntax to `out`, with nodes
+    /// labelled `Class.method`. Roots are drawn with a double border.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `out`.
+    pub fn write_dot<W: io::Write>(&self, program: &Program, out: &mut W) -> io::Result<()> {
+        writeln!(out, "digraph callgraph {{")?;
+        writeln!(out, "  rankdir=TB;")?;
+        let mut is_root = vec![false; self.node_count()];
+        for &r in self.roots() {
+            is_root[r.index()] = true;
+        }
         for node in self.nodes() {
             let label = program.method_name(self.method_of(node));
-            let shape = if self.roots().contains(&node) {
+            let shape = if is_root[node.index()] {
                 "doubleoctagon"
             } else {
                 "box"
             };
-            let _ = writeln!(
+            writeln!(
                 out,
                 "  n{} [label=\"{}\", shape={}];",
                 node.index(),
                 label,
                 shape
-            );
+            )?;
         }
         for edge in self.edges() {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "  n{} -> n{} [label=\"{}\"];",
                 edge.caller.index(),
                 edge.callee.index(),
                 edge.site
-            );
+            )?;
         }
-        out.push_str("}\n");
-        out
+        writeln!(out, "}}")?;
+        Ok(())
+    }
+
+    /// Renders the graph in Graphviz DOT syntax as one `String`. Convenience
+    /// wrapper over [`CallGraph::write_dot`] for small graphs and tests;
+    /// prefer streaming for anything large.
+    pub fn to_dot(&self, program: &Program) -> String {
+        let mut buf = Vec::new();
+        self.write_dot(program, &mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("DOT output is UTF-8")
     }
 }
 
@@ -46,8 +69,7 @@ mod tests {
     use crate::graph::CallGraph;
     use deltapath_ir::{MethodKind, ProgramBuilder};
 
-    #[test]
-    fn dot_output_contains_nodes_and_edges() {
+    fn sample() -> (deltapath_ir::Program, CallGraph) {
         let mut b = ProgramBuilder::new("dot");
         let a = b.add_class("A", None);
         b.method(a, "leaf", MethodKind::Static).finish();
@@ -60,11 +82,25 @@ mod tests {
         b.entry(main);
         let p = b.finish().unwrap();
         let g = CallGraph::build(&p, &GraphConfig::new(Analysis::Cha));
+        (p, g)
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let (p, g) = sample();
         let dot = g.to_dot(&p);
         assert!(dot.starts_with("digraph callgraph"));
         assert!(dot.contains("A.main"));
         assert!(dot.contains("A.leaf"));
         assert!(dot.contains("->"));
         assert!(dot.contains("doubleoctagon")); // the root
+    }
+
+    #[test]
+    fn streamed_and_string_renders_agree() {
+        let (p, g) = sample();
+        let mut buf = Vec::new();
+        g.write_dot(&p, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), g.to_dot(&p));
     }
 }

@@ -1,7 +1,16 @@
 //! The call-graph data structure.
+//!
+//! Adjacency is stored in *compressed sparse row* (CSR) form: one flat
+//! `Vec<EdgeIx>` per direction plus an offsets array, instead of a
+//! `Vec<Vec<EdgeIx>>` with one heap allocation per node. The CSR index is
+//! built lazily on first access and invalidated by mutation, so bulk loads
+//! (the synthetic generator, the edge-list importer) pay one `O(V + E)`
+//! counting-sort pass instead of `E` small-vector pushes, and a million-node
+//! graph costs three flat arrays rather than a million allocations.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use deltapath_ir::{MethodId, SiteId};
 
@@ -68,6 +77,103 @@ pub struct Edge {
     pub site: SiteId,
 }
 
+/// The lazily built CSR adjacency index over a graph's edge list.
+///
+/// Each list is segmented by an offsets array: the out-edges of node `n` are
+/// `out_list[out_offsets[n] .. out_offsets[n + 1]]`. Per-segment order is
+/// increasing [`EdgeIx`] — the same order the eager per-node `Vec`s used to
+/// produce — because the counting sort appends edges in index order.
+#[derive(Clone, Debug, Default)]
+struct AdjacencyIndex {
+    out_offsets: Vec<u32>,
+    out_list: Vec<EdgeIx>,
+    in_offsets: Vec<u32>,
+    in_list: Vec<EdgeIx>,
+    /// Dense by site *index*; sites absent from the graph have an empty
+    /// segment. Sized by the largest site index present.
+    site_offsets: Vec<u32>,
+    site_list: Vec<EdgeIx>,
+    /// Distinct sites with at least one edge, sorted.
+    sites: Vec<SiteId>,
+}
+
+impl AdjacencyIndex {
+    fn build(node_count: usize, edges: &[Edge]) -> Self {
+        let mut out_offsets = vec![0u32; node_count + 1];
+        let mut in_offsets = vec![0u32; node_count + 1];
+        let max_site = edges.iter().map(|e| e.site.index()).max();
+        let site_slots = max_site.map(|m| m + 1).unwrap_or(0);
+        let mut site_offsets = vec![0u32; site_slots + 1];
+        for e in edges {
+            out_offsets[e.caller.index() + 1] += 1;
+            in_offsets[e.callee.index() + 1] += 1;
+            site_offsets[e.site.index() + 1] += 1;
+        }
+        let mut sites = Vec::new();
+        for s in 0..site_slots {
+            if site_offsets[s + 1] > 0 {
+                sites.push(SiteId::from_index(s));
+            }
+        }
+        for i in 1..out_offsets.len() {
+            out_offsets[i] += out_offsets[i - 1];
+        }
+        for i in 1..in_offsets.len() {
+            in_offsets[i] += in_offsets[i - 1];
+        }
+        for i in 1..site_offsets.len() {
+            site_offsets[i] += site_offsets[i - 1];
+        }
+        let mut out_list = vec![EdgeIx(0); edges.len()];
+        let mut in_list = vec![EdgeIx(0); edges.len()];
+        let mut site_list = vec![EdgeIx(0); edges.len()];
+        // Cursor copies so a second pass can append in edge-index order,
+        // which keeps each segment sorted by increasing EdgeIx.
+        let mut out_cur = out_offsets.clone();
+        let mut in_cur = in_offsets.clone();
+        let mut site_cur = site_offsets.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let ix = EdgeIx::from_index(i);
+            let c = &mut out_cur[e.caller.index()];
+            out_list[*c as usize] = ix;
+            *c += 1;
+            let c = &mut in_cur[e.callee.index()];
+            in_list[*c as usize] = ix;
+            *c += 1;
+            let c = &mut site_cur[e.site.index()];
+            site_list[*c as usize] = ix;
+            *c += 1;
+        }
+        Self {
+            out_offsets,
+            out_list,
+            in_offsets,
+            in_list,
+            site_offsets,
+            site_list,
+            sites,
+        }
+    }
+
+    fn out_edges(&self, node: NodeIx) -> &[EdgeIx] {
+        let i = node.index();
+        &self.out_list[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    fn in_edges(&self, node: NodeIx) -> &[EdgeIx] {
+        let i = node.index();
+        &self.in_list[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    fn site_edges(&self, site: SiteId) -> &[EdgeIx] {
+        let i = site.index();
+        if i + 1 >= self.site_offsets.len() {
+            return &[];
+        }
+        &self.site_list[self.site_offsets[i] as usize..self.site_offsets[i + 1] as usize]
+    }
+}
+
 /// An edge-labelled directed call graph over a subset of a program's methods.
 ///
 /// Nodes are methods included by the construction configuration; edges carry
@@ -77,10 +183,14 @@ pub struct CallGraph {
     methods: Vec<MethodId>,
     node_of_method: HashMap<MethodId, NodeIx>,
     edges: Vec<Edge>,
-    out_edges: Vec<Vec<EdgeIx>>,
-    in_edges: Vec<Vec<EdgeIx>>,
-    /// Edges produced by each call site, in insertion order.
-    site_edges: HashMap<SiteId, Vec<EdgeIx>>,
+    /// CSR adjacency over `edges`, built on first read and dropped by any
+    /// mutation. `OnceLock` (not `RefCell`) because graphs are shared across
+    /// scoped threads during parallel territory construction.
+    index: OnceLock<AdjacencyIndex>,
+    /// Lazily built duplicate-edge map: `(caller, callee, site)` → existing
+    /// edge. `None` until [`CallGraph::add_edge`] first needs it (bulk loads
+    /// through [`CallGraph::add_edge_unchecked`] never pay for it).
+    dedup: Option<HashMap<(NodeIx, NodeIx, SiteId), EdgeIx>>,
     entry: Option<NodeIx>,
     /// Nodes with no incoming edges that are nevertheless invokable (the
     /// entry, plus — under scope filtering — methods only called from
@@ -102,13 +212,25 @@ impl CallGraph {
             methods: Vec::new(),
             node_of_method: HashMap::new(),
             edges: Vec::new(),
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
-            site_edges: HashMap::new(),
+            index: OnceLock::new(),
+            dedup: None,
             entry: None,
             roots: Vec::new(),
             ucp_entry_candidates: Vec::new(),
         }
+    }
+
+    /// Pre-allocates room for `nodes` nodes and `edges` edges. Purely an
+    /// optimisation for bulk loads.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.methods.reserve(nodes);
+        self.node_of_method.reserve(nodes);
+        self.edges.reserve(edges);
+    }
+
+    fn adjacency(&self) -> &AdjacencyIndex {
+        self.index
+            .get_or_init(|| AdjacencyIndex::build(self.methods.len(), &self.edges))
     }
 
     /// Adds a node for `method`, returning the existing node if present.
@@ -118,31 +240,52 @@ impl CallGraph {
         }
         let n = NodeIx::from_index(self.methods.len());
         self.methods.push(method);
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
         self.node_of_method.insert(method, n);
+        self.index.take();
         n
     }
 
     /// Adds an edge; duplicate `(caller, callee, site)` triples are ignored.
     pub fn add_edge(&mut self, caller: NodeIx, callee: NodeIx, site: SiteId) -> EdgeIx {
-        if let Some(existing) = self.site_edges.get(&site) {
-            for &e in existing {
-                let edge = self.edges[e.index()];
-                if edge.caller == caller && edge.callee == callee {
-                    return e;
-                }
+        let dedup = self.dedup.get_or_insert_with(|| {
+            let mut map = HashMap::with_capacity(self.edges.len());
+            for (i, e) in self.edges.iter().enumerate() {
+                // First occurrence wins, matching what incremental
+                // deduplication would have produced.
+                map.entry((e.caller, e.callee, e.site))
+                    .or_insert(EdgeIx::from_index(i));
             }
+            map
+        });
+        if let Some(&e) = dedup.get(&(caller, callee, site)) {
+            return e;
         }
+        let e = EdgeIx::from_index(self.edges.len());
+        dedup.insert((caller, callee, site), e);
+        self.edges.push(Edge {
+            caller,
+            callee,
+            site,
+        });
+        self.index.take();
+        e
+    }
+
+    /// Adds an edge without checking for duplicates — the bulk-load path for
+    /// the synthetic generator and the importer, which deduplicate (or
+    /// diagnose duplicates) themselves. A duplicate triple added through
+    /// this method becomes a real second edge.
+    pub fn add_edge_unchecked(&mut self, caller: NodeIx, callee: NodeIx, site: SiteId) -> EdgeIx {
         let e = EdgeIx::from_index(self.edges.len());
         self.edges.push(Edge {
             caller,
             callee,
             site,
         });
-        self.out_edges[caller.index()].push(e);
-        self.in_edges[callee.index()].push(e);
-        self.site_edges.entry(site).or_default().push(e);
+        // The dedup map no longer covers every edge; rebuild lazily if a
+        // checked add ever follows.
+        self.dedup = None;
+        self.index.take();
         e
     }
 
@@ -197,27 +340,25 @@ impl CallGraph {
         self.node_of_method.get(&method).copied()
     }
 
-    /// Outgoing edge indices of `node`.
+    /// Outgoing edge indices of `node`, in increasing edge order.
     pub fn out_edges(&self, node: NodeIx) -> &[EdgeIx] {
-        &self.out_edges[node.index()]
+        self.adjacency().out_edges(node)
     }
 
-    /// Incoming edge indices of `node`.
+    /// Incoming edge indices of `node`, in increasing edge order.
     pub fn in_edges(&self, node: NodeIx) -> &[EdgeIx] {
-        &self.in_edges[node.index()]
+        self.adjacency().in_edges(node)
     }
 
     /// The edges a call site can dispatch along (its dispatch targets).
     pub fn site_edges(&self, site: SiteId) -> &[EdgeIx] {
-        self.site_edges.get(&site).map(Vec::as_slice).unwrap_or(&[])
+        self.adjacency().site_edges(site)
     }
 
     /// All call sites with at least one edge in the graph — the sites that
     /// would be instrumented (the paper's *CS* column).
     pub fn instrumented_sites(&self) -> Vec<SiteId> {
-        let mut v: Vec<SiteId> = self.site_edges.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.adjacency().sites.clone()
     }
 
     /// The entry node, if set.
@@ -245,7 +386,7 @@ impl CallGraph {
     /// Successor nodes of `node` (deduplicated, order of first occurrence).
     pub fn successors(&self, node: NodeIx) -> Vec<NodeIx> {
         let mut seen = Vec::new();
-        for &e in &self.out_edges[node.index()] {
+        for &e in self.out_edges(node) {
             let callee = self.edges[e.index()].callee;
             if !seen.contains(&callee) {
                 seen.push(callee);
@@ -257,13 +398,49 @@ impl CallGraph {
     /// Predecessor nodes of `node` (deduplicated, order of first occurrence).
     pub fn predecessors(&self, node: NodeIx) -> Vec<NodeIx> {
         let mut seen = Vec::new();
-        for &e in &self.in_edges[node.index()] {
+        for &e in self.in_edges(node) {
             let caller = self.edges[e.index()].caller;
             if !seen.contains(&caller) {
                 seen.push(caller);
             }
         }
         seen
+    }
+
+    /// A 64-bit FNV-1a structural fingerprint over nodes, edges, entry,
+    /// roots and UCP candidates. Two graphs with the same fingerprint have
+    /// the same shape in the same order — the equality oracle for
+    /// import/export round-trips and generator determinism tests.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.methods.len() as u64);
+        for &m in &self.methods {
+            mix(m.index() as u64);
+        }
+        mix(self.edges.len() as u64);
+        for e in &self.edges {
+            mix(u64::from(e.caller.0));
+            mix(u64::from(e.callee.0));
+            mix(e.site.index() as u64);
+        }
+        mix(self.entry.map(|n| u64::from(n.0) + 1).unwrap_or(0));
+        mix(self.roots.len() as u64);
+        for &r in &self.roots {
+            mix(u64::from(r.0));
+        }
+        mix(self.ucp_entry_candidates.len() as u64);
+        for &u in &self.ucp_entry_candidates {
+            mix(u64::from(u.0));
+        }
+        h
     }
 }
 
@@ -329,5 +506,61 @@ mod tests {
         assert_eq!(g.entry(), Some(a));
         g.add_root(b); // idempotent
         assert_eq!(g.roots().len(), 2);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        g.add_edge(a, b, s(0));
+        assert_eq!(g.out_edges(a).len(), 1); // builds the index
+        let c = g.add_node(m(2)); // invalidates it
+        g.add_edge(a, c, s(1));
+        assert_eq!(g.out_edges(a).len(), 2);
+        assert_eq!(g.in_edges(c).len(), 1);
+        assert_eq!(g.site_edges(s(1)).len(), 1);
+    }
+
+    #[test]
+    fn unchecked_edges_can_duplicate_and_later_adds_still_dedup() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        g.add_edge_unchecked(a, b, s(0));
+        g.add_edge_unchecked(a, b, s(0)); // real duplicate, by design
+        assert_eq!(g.edge_count(), 2);
+        // A checked add rebuilds the dedup map over all edges.
+        let e = g.add_edge(a, b, s(0));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(e.index(), 0);
+        g.add_edge(b, a, s(1));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let build = |extra: bool| {
+            let mut g = CallGraph::empty();
+            let a = g.add_node(m(0));
+            let b = g.add_node(m(1));
+            g.set_entry(a);
+            g.add_edge(a, b, s(0));
+            if extra {
+                g.add_edge(b, a, s(1));
+            }
+            g
+        };
+        assert_eq!(build(false).fingerprint(), build(false).fingerprint());
+        assert_ne!(build(false).fingerprint(), build(true).fingerprint());
+    }
+
+    #[test]
+    fn out_of_range_site_has_no_edges() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(m(0));
+        let b = g.add_node(m(1));
+        g.add_edge(a, b, s(0));
+        assert!(g.site_edges(s(999)).is_empty());
     }
 }

@@ -1,0 +1,674 @@
+//! External call-graph import/export: the `deltapath.graph.v1` format.
+//!
+//! A line-oriented text format so call graphs produced by *other* tools
+//! (SCIP indexes, WALA dumps, instrumentation logs) become first-class
+//! inputs to planning, linting and reporting. The grammar:
+//!
+//! ```text
+//! deltapath.graph.v1            # header, required first line
+//! # comments and blank lines are ignored
+//! graph NAME                    # optional, at most once
+//! node ID [METHOD]              # declare a node; METHOD defaults to the
+//!                               # node's dense position (ids are labels)
+//! edge CALLER CALLEE SITE       # a call edge; nodes must be declared first
+//! entry ID                      # the entry node, at most once
+//! root ID                       # an additional encoding root
+//! ucp ID                        # a hazardous-UCP entry candidate
+//! ```
+//!
+//! All ids are non-negative integers. Node ids may be arbitrary (they are
+//! densified on import); site ids should be near-dense — the CSR site index
+//! is sized by the largest site id, so ids beyond `4 × edges + 16` are
+//! rejected ([`GraphDiagCode::SiteOutOfBounds`]).
+//!
+//! The parser never panics on malformed input: it collects structured
+//! [`GraphDiag`] diagnostics (stable `DG0xx` codes, mirroring the plan
+//! auditor's `DP0xx` family) and returns them all at once, so a bad file
+//! reports every problem in one pass. [`render_graph`] writes the same
+//! format back out, and `parse(render(g))` reproduces `g` exactly
+//! ([`CallGraph::fingerprint`] equality).
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead};
+
+use deltapath_ir::{MethodId, SiteId};
+
+use crate::graph::{CallGraph, NodeIx};
+
+/// Schema identifier and required header line of the graph format.
+pub const GRAPH_SCHEMA: &str = "deltapath.graph.v1";
+
+/// Stable diagnostic codes for graph-file problems. Codes are append-only:
+/// tools may match on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphDiagCode {
+    /// DG001 — the first line is not the `deltapath.graph.v1` header.
+    BadHeader,
+    /// DG002 — a line starts with an unknown directive.
+    UnknownDirective,
+    /// DG003 — a directive line is truncated or has unparsable fields.
+    MalformedLine,
+    /// DG004 — a node id is declared more than once.
+    DuplicateNode,
+    /// DG005 — an edge/entry/root/ucp references an undeclared node id.
+    DanglingNode,
+    /// DG006 — a `(caller, callee, site)` edge triple is repeated (warning;
+    /// the duplicate is skipped).
+    DuplicateEdge,
+    /// DG007 — the file declares no nodes.
+    EmptyGraph,
+    /// DG008 — the graph has neither an entry nor any roots (warning; no
+    /// encoding root means nothing is reachable for planning).
+    NoRoots,
+    /// DG009 — a site id exceeds the density bound `4 × edges + 16`.
+    SiteOutOfBounds,
+    /// DG010 — `entry` (or `graph`) is declared more than once.
+    DuplicateDirective,
+}
+
+impl GraphDiagCode {
+    /// The stable `DG0xx` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::BadHeader => "DG001",
+            Self::UnknownDirective => "DG002",
+            Self::MalformedLine => "DG003",
+            Self::DuplicateNode => "DG004",
+            Self::DanglingNode => "DG005",
+            Self::DuplicateEdge => "DG006",
+            Self::EmptyGraph => "DG007",
+            Self::NoRoots => "DG008",
+            Self::SiteOutOfBounds => "DG009",
+            Self::DuplicateDirective => "DG010",
+        }
+    }
+
+    /// Whether this code is a warning (the import still succeeds).
+    pub fn is_warning(self) -> bool {
+        matches!(self, Self::DuplicateEdge | Self::NoRoots)
+    }
+}
+
+impl fmt::Display for GraphDiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured import diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphDiag {
+    /// The stable code.
+    pub code: GraphDiagCode,
+    /// 1-based line number in the input, where applicable.
+    pub line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl GraphDiag {
+    fn new(code: GraphDiagCode, line: Option<usize>, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = if self.code.is_warning() {
+            "warning"
+        } else {
+            "error"
+        };
+        match self.line {
+            Some(n) => write!(f, "{} [{sev}] line {n}: {}", self.code, self.message),
+            None => write!(f, "{} [{sev}]: {}", self.code, self.message),
+        }
+    }
+}
+
+/// Import failure: I/O, or one or more `DG0xx` errors.
+#[derive(Debug)]
+pub enum ImportError {
+    /// Reading the input failed.
+    Io(io::Error),
+    /// The file parsed but contains errors; every diagnostic (errors and
+    /// warnings) is included.
+    Invalid {
+        /// All diagnostics collected over the file.
+        diagnostics: Vec<GraphDiag>,
+    },
+}
+
+impl ImportError {
+    /// The diagnostics, if this is a validation failure.
+    pub fn diagnostics(&self) -> &[GraphDiag] {
+        match self {
+            Self::Io(_) => &[],
+            Self::Invalid { diagnostics } => diagnostics,
+        }
+    }
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "reading graph file: {e}"),
+            Self::Invalid { diagnostics } => {
+                let errors = diagnostics.iter().filter(|d| !d.code.is_warning()).count();
+                write!(f, "invalid graph file ({errors} error(s))")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for ImportError {}
+
+impl From<io::Error> for ImportError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A successfully imported graph plus any warnings.
+#[derive(Debug)]
+pub struct ImportedGraph {
+    /// The `graph NAME` from the file, or `"imported"`.
+    pub name: String,
+    /// The imported call graph.
+    pub graph: CallGraph,
+    /// Warning-severity diagnostics (duplicate edges, missing roots).
+    pub warnings: Vec<GraphDiag>,
+}
+
+/// One parsed `edge` line, pre-densification.
+struct RawEdge {
+    caller: NodeIx,
+    callee: NodeIx,
+    site: u64,
+    line: usize,
+}
+
+/// Parses a `deltapath.graph.v1` file.
+///
+/// Collects *all* diagnostics in one pass; any error-severity diagnostic
+/// fails the import. Never panics on malformed input.
+///
+/// # Errors
+///
+/// [`ImportError::Io`] if reading fails, [`ImportError::Invalid`] with the
+/// collected diagnostics if the file has errors.
+pub fn parse_graph<R: BufRead>(input: R) -> Result<ImportedGraph, ImportError> {
+    let mut diags: Vec<GraphDiag> = Vec::new();
+    let mut name: Option<String> = None;
+    let mut graph = CallGraph::empty();
+    let mut node_of_id: HashMap<u64, NodeIx> = HashMap::new();
+    let mut edges: Vec<RawEdge> = Vec::new();
+    let mut entry: Option<(usize, NodeIx)> = None;
+    let mut roots: Vec<NodeIx> = Vec::new();
+    let mut ucps: Vec<NodeIx> = Vec::new();
+    let mut saw_header = false;
+
+    for (ix, line) in input.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if text != GRAPH_SCHEMA {
+                diags.push(GraphDiag::new(
+                    GraphDiagCode::BadHeader,
+                    Some(lineno),
+                    format!("expected header `{GRAPH_SCHEMA}`, found `{text}`"),
+                ));
+                return Err(ImportError::Invalid { diagnostics: diags });
+            }
+            saw_header = true;
+            continue;
+        }
+        let mut fields = text.split_whitespace();
+        let directive = fields.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = fields.collect();
+        let mut parse_id = |field: &str, what: &str| -> Option<u64> {
+            match field.parse::<u64>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!("{what} `{field}` is not a non-negative integer"),
+                    ));
+                    None
+                }
+            }
+        };
+        // A referenced node must already be declared.
+        macro_rules! resolve {
+            ($id:expr, $what:expr) => {
+                match node_of_id.get(&$id) {
+                    Some(&n) => Some(n),
+                    None => {
+                        diags.push(GraphDiag::new(
+                            GraphDiagCode::DanglingNode,
+                            Some(lineno),
+                            format!("{} references undeclared node id {}", $what, $id),
+                        ));
+                        None
+                    }
+                }
+            };
+        }
+        match directive {
+            "graph" => {
+                if rest.len() != 1 {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!("`graph` takes exactly one name, found {}", rest.len()),
+                    ));
+                    continue;
+                }
+                if name.is_some() {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::DuplicateDirective,
+                        Some(lineno),
+                        "`graph` declared more than once",
+                    ));
+                    continue;
+                }
+                name = Some(rest[0].to_string());
+            }
+            "node" => {
+                if rest.is_empty() || rest.len() > 2 {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!("`node` takes ID [METHOD], found {} field(s)", rest.len()),
+                    ));
+                    continue;
+                }
+                let Some(id) = parse_id(rest[0], "node id") else {
+                    continue;
+                };
+                // METHOD defaults to the node's dense position, so file node
+                // ids are pure labels and may be arbitrarily sparse.
+                let method = match rest.get(1) {
+                    Some(f) => match parse_id(f, "method id") {
+                        Some(m) => m,
+                        None => continue,
+                    },
+                    None => graph.node_count() as u64,
+                };
+                if node_of_id.contains_key(&id) {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::DuplicateNode,
+                        Some(lineno),
+                        format!("node id {id} declared more than once"),
+                    ));
+                    continue;
+                }
+                if u32::try_from(method).is_err() {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!("method id {method} does not fit in 32 bits"),
+                    ));
+                    continue;
+                }
+                let before = graph.node_count();
+                let n = graph.add_node(MethodId::from_index(method as usize));
+                if graph.node_count() == before {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::DuplicateNode,
+                        Some(lineno),
+                        format!("node id {id} maps to method {method}, already declared"),
+                    ));
+                    continue;
+                }
+                node_of_id.insert(id, n);
+            }
+            "edge" => {
+                if rest.len() != 3 {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!(
+                            "`edge` takes CALLER CALLEE SITE, found {} field(s)",
+                            rest.len()
+                        ),
+                    ));
+                    continue;
+                }
+                let (Some(a), Some(b), Some(s)) = (
+                    parse_id(rest[0], "caller id"),
+                    parse_id(rest[1], "callee id"),
+                    parse_id(rest[2], "site id"),
+                ) else {
+                    continue;
+                };
+                let (Some(caller), Some(callee)) =
+                    (resolve!(a, "edge caller"), resolve!(b, "edge callee"))
+                else {
+                    continue;
+                };
+                edges.push(RawEdge {
+                    caller,
+                    callee,
+                    site: s,
+                    line: lineno,
+                });
+            }
+            "entry" => {
+                if rest.len() != 1 {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!("`entry` takes exactly one id, found {}", rest.len()),
+                    ));
+                    continue;
+                }
+                let Some(id) = parse_id(rest[0], "entry id") else {
+                    continue;
+                };
+                let Some(n) = resolve!(id, "entry") else {
+                    continue;
+                };
+                if entry.is_some() {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::DuplicateDirective,
+                        Some(lineno),
+                        "`entry` declared more than once",
+                    ));
+                    continue;
+                }
+                entry = Some((lineno, n));
+            }
+            "root" | "ucp" => {
+                if rest.len() != 1 {
+                    diags.push(GraphDiag::new(
+                        GraphDiagCode::MalformedLine,
+                        Some(lineno),
+                        format!("`{directive}` takes exactly one id, found {}", rest.len()),
+                    ));
+                    continue;
+                }
+                let Some(id) = parse_id(rest[0], "node id") else {
+                    continue;
+                };
+                let Some(n) = resolve!(id, directive) else {
+                    continue;
+                };
+                if directive == "root" {
+                    roots.push(n);
+                } else {
+                    ucps.push(n);
+                }
+            }
+            other => {
+                diags.push(GraphDiag::new(
+                    GraphDiagCode::UnknownDirective,
+                    Some(lineno),
+                    format!("unknown directive `{other}`"),
+                ));
+            }
+        }
+    }
+
+    if !saw_header {
+        diags.push(GraphDiag::new(
+            GraphDiagCode::BadHeader,
+            None,
+            format!("empty input: expected `{GRAPH_SCHEMA}` header"),
+        ));
+    }
+    if saw_header && graph.node_count() == 0 {
+        diags.push(GraphDiag::new(
+            GraphDiagCode::EmptyGraph,
+            None,
+            "graph declares no nodes",
+        ));
+    }
+
+    // Method ids size downstream per-method tables (the skeleton program a
+    // graph-only import plans against), so bound them by node count.
+    let method_bound = 16 * graph.node_count() as u64 + 1024;
+    for node in graph.nodes() {
+        let m = graph.method_of(node).index() as u64;
+        if m >= method_bound {
+            diags.push(GraphDiag::new(
+                GraphDiagCode::SiteOutOfBounds,
+                None,
+                format!(
+                    "method id {m} exceeds the density bound {method_bound} (16 x nodes + 1024)"
+                ),
+            ));
+        }
+    }
+
+    // Sites size the CSR site index (dense by largest id), so enforce
+    // near-density before materializing edges.
+    let site_bound = 4 * edges.len() as u64 + 16;
+    let mut seen_edges: HashSet<(NodeIx, NodeIx, u64)> = HashSet::with_capacity(edges.len());
+    for e in &edges {
+        if e.site >= site_bound {
+            diags.push(GraphDiag::new(
+                GraphDiagCode::SiteOutOfBounds,
+                Some(e.line),
+                format!(
+                    "site id {} exceeds the density bound {} (4 x edges + 16)",
+                    e.site, site_bound
+                ),
+            ));
+            continue;
+        }
+        if !seen_edges.insert((e.caller, e.callee, e.site)) {
+            diags.push(GraphDiag::new(
+                GraphDiagCode::DuplicateEdge,
+                Some(e.line),
+                format!(
+                    "duplicate edge {} -> {} site={} (skipped)",
+                    e.caller.index(),
+                    e.callee.index(),
+                    e.site
+                ),
+            ));
+        }
+    }
+
+    if diags.iter().any(|d| !d.code.is_warning()) {
+        return Err(ImportError::Invalid { diagnostics: diags });
+    }
+
+    // All errors ruled out: materialize in declaration order.
+    seen_edges.clear();
+    for e in &edges {
+        if seen_edges.insert((e.caller, e.callee, e.site)) {
+            graph.add_edge_unchecked(e.caller, e.callee, SiteId::from_index(e.site as usize));
+        }
+    }
+    if let Some((_, n)) = entry {
+        graph.set_entry(n);
+    }
+    for r in roots {
+        graph.add_root(r);
+    }
+    for u in ucps {
+        graph.add_ucp_entry_candidate(u);
+    }
+    if graph.entry().is_none() && graph.roots().is_empty() {
+        diags.push(GraphDiag::new(
+            GraphDiagCode::NoRoots,
+            None,
+            "graph has no entry and no roots; planning needs at least one encoding root",
+        ));
+    }
+
+    Ok(ImportedGraph {
+        name: name.unwrap_or_else(|| "imported".to_string()),
+        graph,
+        warnings: diags,
+    })
+}
+
+/// Streams `graph` in `deltapath.graph.v1` form to `out`, such that parsing
+/// the output reproduces the graph exactly (same [`CallGraph::fingerprint`]).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+pub fn render_graph<W: io::Write>(graph: &CallGraph, name: &str, out: &mut W) -> io::Result<()> {
+    writeln!(out, "{GRAPH_SCHEMA}")?;
+    writeln!(out, "graph {name}")?;
+    writeln!(
+        out,
+        "# {} node(s), {} edge(s)",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for node in graph.nodes() {
+        let method = graph.method_of(node).index();
+        if method == node.index() {
+            writeln!(out, "node {}", node.index())?;
+        } else {
+            writeln!(out, "node {} {}", node.index(), method)?;
+        }
+    }
+    for edge in graph.edges() {
+        writeln!(
+            out,
+            "edge {} {} {}",
+            edge.caller.index(),
+            edge.callee.index(),
+            edge.site.index()
+        )?;
+    }
+    if let Some(entry) = graph.entry() {
+        writeln!(out, "entry {}", entry.index())?;
+    }
+    for &root in graph.roots() {
+        if Some(root) != graph.entry() {
+            writeln!(out, "root {}", root.index())?;
+        }
+    }
+    for &u in graph.ucp_entry_candidates() {
+        writeln!(out, "ucp {}", u.index())?;
+    }
+    Ok(())
+}
+
+/// [`render_graph`] into a `String` (small graphs and tests).
+pub fn render_graph_string(graph: &CallGraph, name: &str) -> String {
+    let mut buf = Vec::new();
+    render_graph(graph, name, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("graph output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<ImportedGraph, ImportError> {
+        parse_graph(s.as_bytes())
+    }
+
+    fn codes(err: &ImportError) -> Vec<GraphDiagCode> {
+        err.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn parses_a_minimal_graph() {
+        let g = parse_str(
+            "deltapath.graph.v1\n\
+             graph tiny\n\
+             # a comment\n\
+             node 0\n\
+             node 1\n\
+             edge 0 1 0\n\
+             entry 0\n",
+        )
+        .unwrap();
+        assert_eq!(g.name, "tiny");
+        assert_eq!(g.graph.node_count(), 2);
+        assert_eq!(g.graph.edge_count(), 1);
+        assert_eq!(g.graph.entry(), Some(NodeIx::from_index(0)));
+        assert!(g.warnings.is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let src = "deltapath.graph.v1\n\
+                   graph rt\n\
+                   node 0\nnode 1\nnode 2 7\n\
+                   edge 0 1 0\nedge 0 2 0\nedge 1 2 1\n\
+                   entry 0\nroot 2\nucp 1\n";
+        let first = parse_str(src).unwrap();
+        let rendered = render_graph_string(&first.graph, &first.name);
+        let second = parse_str(&rendered).unwrap();
+        assert_eq!(first.graph.fingerprint(), second.graph.fingerprint());
+        assert_eq!(second.name, "rt");
+    }
+
+    #[test]
+    fn bad_header_is_dg001() {
+        let err = parse_str("not a graph file\n").unwrap_err();
+        assert_eq!(codes(&err), vec![GraphDiagCode::BadHeader]);
+        let err = parse_str("").unwrap_err();
+        assert_eq!(codes(&err), vec![GraphDiagCode::BadHeader]);
+    }
+
+    #[test]
+    fn collects_multiple_errors_in_one_pass() {
+        let err = parse_str(
+            "deltapath.graph.v1\n\
+             node 0\n\
+             node 0\n\
+             edge 0 9 0\n\
+             frob 1\n",
+        )
+        .unwrap_err();
+        let codes = codes(&err);
+        assert!(codes.contains(&GraphDiagCode::DuplicateNode));
+        assert!(codes.contains(&GraphDiagCode::DanglingNode));
+        assert!(codes.contains(&GraphDiagCode::UnknownDirective));
+    }
+
+    #[test]
+    fn duplicate_edges_warn_and_dedup() {
+        let g = parse_str(
+            "deltapath.graph.v1\n\
+             node 0\nnode 1\n\
+             edge 0 1 0\nedge 0 1 0\n\
+             entry 0\n",
+        )
+        .unwrap();
+        assert_eq!(g.graph.edge_count(), 1);
+        assert_eq!(g.warnings.len(), 1);
+        assert_eq!(g.warnings[0].code, GraphDiagCode::DuplicateEdge);
+    }
+
+    #[test]
+    fn sparse_node_ids_are_densified() {
+        let g = parse_str(
+            "deltapath.graph.v1\n\
+             node 100\nnode 2000\n\
+             edge 100 2000 0\n\
+             entry 100\n",
+        )
+        .unwrap();
+        assert_eq!(g.graph.node_count(), 2);
+        // File ids are labels; methods densify.
+        assert_eq!(g.graph.method_of(NodeIx::from_index(0)).index(), 0);
+        assert_eq!(g.graph.edge_count(), 1);
+    }
+}

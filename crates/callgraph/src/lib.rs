@@ -57,14 +57,32 @@
 mod build;
 mod dot;
 mod graph;
+pub mod import;
 mod reach;
 mod scc;
+mod skeleton;
 mod stats;
 mod topo;
 
 pub use build::{Analysis, GraphConfig, ScopeFilter};
 pub use graph::{CallGraph, Edge, EdgeIx, NodeIx};
-pub use reach::{reachable_from, reaches_to};
+pub use import::{
+    parse_graph, render_graph, render_graph_string, GraphDiag, GraphDiagCode, ImportError,
+    ImportedGraph, GRAPH_SCHEMA,
+};
+pub use reach::{reachable_from, reachable_from_masked, reaches_to, reaches_to_masked};
 pub use scc::{back_edges, BackEdgeInfo, StronglyConnectedComponents};
+pub use skeleton::skeleton_for_graph;
 pub use stats::GraphStats;
-pub use topo::{topological_order, TopoError};
+pub use topo::{topological_order, topological_order_masked, TopoError};
+
+/// Converts an excluded-edge set into a dense per-edge `bool` mask, the form
+/// the `*_masked` traversal variants take. Planning converts once and reuses
+/// the mask across every pass so exclusion checks are array loads.
+pub fn excluded_mask(graph: &CallGraph, excluded: &std::collections::HashSet<EdgeIx>) -> Vec<bool> {
+    let mut mask = vec![false; graph.edge_count()];
+    for e in excluded {
+        mask[e.index()] = true;
+    }
+    mask
+}

@@ -11,6 +11,13 @@ pub fn reachable_from(
     starts: &[NodeIx],
     excluded: &HashSet<EdgeIx>,
 ) -> Vec<bool> {
+    let mask = crate::excluded_mask(graph, excluded);
+    reachable_from_masked(graph, starts, &mask)
+}
+
+/// [`reachable_from`] with the excluded set pre-converted to a dense
+/// per-edge mask (see [`crate::excluded_mask`]).
+pub fn reachable_from_masked(graph: &CallGraph, starts: &[NodeIx], excluded: &[bool]) -> Vec<bool> {
     let mut seen = vec![false; graph.node_count()];
     let mut stack: Vec<NodeIx> = Vec::new();
     for &s in starts {
@@ -21,7 +28,7 @@ pub fn reachable_from(
     }
     while let Some(node) = stack.pop() {
         for &e in graph.out_edges(node) {
-            if excluded.contains(&e) {
+            if excluded[e.index()] {
                 continue;
             }
             let t = graph.edge(e).callee;
@@ -39,6 +46,13 @@ pub fn reachable_from(
 /// included. Used by the pruned-encoding extension (paper Section 8) to find
 /// functions that can lead to a target function.
 pub fn reaches_to(graph: &CallGraph, targets: &[NodeIx], excluded: &HashSet<EdgeIx>) -> Vec<bool> {
+    let mask = crate::excluded_mask(graph, excluded);
+    reaches_to_masked(graph, targets, &mask)
+}
+
+/// [`reaches_to`] with the excluded set pre-converted to a dense per-edge
+/// mask (see [`crate::excluded_mask`]).
+pub fn reaches_to_masked(graph: &CallGraph, targets: &[NodeIx], excluded: &[bool]) -> Vec<bool> {
     let mut seen = vec![false; graph.node_count()];
     let mut stack: Vec<NodeIx> = Vec::new();
     for &t in targets {
@@ -49,7 +63,7 @@ pub fn reaches_to(graph: &CallGraph, targets: &[NodeIx], excluded: &HashSet<Edge
     }
     while let Some(node) = stack.pop() {
         for &e in graph.in_edges(node) {
-            if excluded.contains(&e) {
+            if excluded[e.index()] {
                 continue;
             }
             let p = graph.edge(e).caller;

@@ -1,0 +1,86 @@
+//! Planning skeletons for bare call graphs.
+//!
+//! The planner and auditor take a [`Program`], but imported or synthesized
+//! call graphs have none. [`skeleton_for_graph`] derives the graph-only
+//! skeleton program (see [`deltapath_ir::skeleton_program`]) whose method
+//! and site id spaces align with the graph: one empty method per method id
+//! the graph mentions, one call site per site id (virtual when the site
+//! dispatches to several targets), entered at the graph entry.
+
+use deltapath_ir::{skeleton_program, CallKind, MethodId, Program, SkeletonSite};
+
+use crate::graph::{CallGraph, EdgeIx, NodeIx};
+
+/// Builds the skeleton [`Program`] a bare [`CallGraph`] is planned against.
+/// The entry falls back to the first root, then to method 0, when the graph
+/// has no designated entry.
+pub fn skeleton_for_graph(name: &str, g: &CallGraph) -> Program {
+    let method_count = (0..g.node_count())
+        .map(|i| g.method_of(NodeIx::from_index(i)).index())
+        .max()
+        .map_or(1, |m| m + 1);
+    let mut site_callers: Vec<Option<(MethodId, usize)>> = Vec::new();
+    for i in 0..g.edge_count() {
+        let e = g.edge(EdgeIx::from_index(i));
+        let s = e.site.index();
+        if s >= site_callers.len() {
+            site_callers.resize(s + 1, None);
+        }
+        let entry = site_callers[s].get_or_insert((g.method_of(e.caller), 0));
+        entry.1 += 1;
+    }
+    let sites: Vec<SkeletonSite> = site_callers
+        .iter()
+        .map(|slot| match slot {
+            Some((caller, n)) => SkeletonSite {
+                caller: *caller,
+                kind: if *n >= 2 {
+                    CallKind::Virtual
+                } else {
+                    CallKind::Static
+                },
+            },
+            // A site id gap: attach an inert static site to method 0 so the
+            // program's site table stays dense and aligned with the graph.
+            None => SkeletonSite {
+                caller: MethodId::from_index(0),
+                kind: CallKind::Static,
+            },
+        })
+        .collect();
+    let entry = g
+        .entry()
+        .or_else(|| g.roots().first().copied())
+        .map_or(MethodId::from_index(0), |n| g.method_of(n));
+    skeleton_program(name, method_count, &sites, entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltapath_ir::SiteId;
+
+    #[test]
+    fn skeleton_aligns_with_graph_ids() {
+        let mut g = CallGraph::empty();
+        let a = g.add_node(MethodId::from_index(0));
+        let b = g.add_node(MethodId::from_index(1));
+        let c = g.add_node(MethodId::from_index(2));
+        g.set_entry(a);
+        // Site 0 dispatches to two targets (virtual); site 2 is monomorphic
+        // and site 1 is a gap.
+        g.add_edge(a, b, SiteId::from_index(0));
+        g.add_edge(a, c, SiteId::from_index(0));
+        g.add_edge(b, c, SiteId::from_index(2));
+        let p = skeleton_for_graph("skel", &g);
+        assert_eq!(p.methods().len(), 3);
+        assert_eq!(p.sites().len(), 3);
+        assert_eq!(p.entry(), MethodId::from_index(0));
+        assert_eq!(p.site(SiteId::from_index(0)).kind(), CallKind::Virtual);
+        assert_eq!(p.site(SiteId::from_index(2)).kind(), CallKind::Static);
+        assert_eq!(
+            p.site(SiteId::from_index(2)).caller(),
+            MethodId::from_index(1)
+        );
+    }
+}

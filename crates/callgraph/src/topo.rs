@@ -1,6 +1,7 @@
 //! Topological ordering with edge exclusion.
 
-use std::collections::HashSet;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -40,39 +41,47 @@ pub fn topological_order(
     graph: &CallGraph,
     excluded: &HashSet<EdgeIx>,
 ) -> Result<Vec<NodeIx>, TopoError> {
+    let mask = crate::excluded_mask(graph, excluded);
+    topological_order_masked(graph, &mask)
+}
+
+/// [`topological_order`] with the excluded set pre-converted to a dense
+/// per-edge mask (see [`crate::excluded_mask`]) — the allocation-lean form
+/// the planning passes use so a million-edge exclusion check is an array
+/// load, not a hash probe.
+pub fn topological_order_masked(
+    graph: &CallGraph,
+    excluded: &[bool],
+) -> Result<Vec<NodeIx>, TopoError> {
     let n = graph.node_count();
-    let mut indegree = vec![0usize; n];
+    let mut indegree = vec![0u32; n];
     for (i, edge) in graph.edges().iter().enumerate() {
-        if excluded.contains(&EdgeIx::from_index(i)) {
+        if excluded[i] {
             continue;
         }
         indegree[edge.callee.index()] += 1;
     }
-    let mut queue: Vec<NodeIx> = graph
+    // Deterministic order: process smallest ready index first. A min-heap
+    // pops exactly the node the old sorted-stack implementation popped, in
+    // O(E log V) total instead of re-sorting the queue every iteration.
+    let mut queue: BinaryHeap<Reverse<NodeIx>> = graph
         .nodes()
         .filter(|node| indegree[node.index()] == 0)
+        .map(Reverse)
         .collect();
-    // Deterministic order: process smallest index first.
-    queue.sort_unstable_by(|a, b| b.cmp(a));
     let mut order = Vec::with_capacity(n);
-    while let Some(node) = queue.pop() {
+    while let Some(Reverse(node)) = queue.pop() {
         order.push(node);
-        let mut newly_free: Vec<NodeIx> = Vec::new();
         for &e in graph.out_edges(node) {
-            if excluded.contains(&e) {
+            if excluded[e.index()] {
                 continue;
             }
             let t = graph.edge(e).callee;
             indegree[t.index()] -= 1;
             if indegree[t.index()] == 0 {
-                newly_free.push(t);
+                queue.push(Reverse(t));
             }
         }
-        newly_free.sort_unstable_by(|a, b| b.cmp(a));
-        // Keep the queue a sorted stack (largest last popped first is fine;
-        // determinism is what matters, not the specific tie-break).
-        queue.extend(newly_free);
-        queue.sort_unstable_by(|a, b| b.cmp(a));
     }
     if order.len() != n {
         return Err(TopoError {

@@ -19,7 +19,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use deltapath_callgraph::{topological_order, CallGraph, EdgeIx, NodeIx};
+use deltapath_callgraph::{topological_order_masked, CallGraph, EdgeIx, NodeIx};
 use deltapath_ir::SiteId;
 use deltapath_telemetry::{names, NullTelemetry, ScopedSpan, Telemetry};
 
@@ -50,6 +50,16 @@ pub struct Algo2Config {
     /// anchor order — so the resulting [`Encoding`] is the same bit for
     /// bit (pinned by `tests/sharded_collector.rs`).
     pub territory_workers: usize,
+    /// Optional scalability cap on territory overlap. When set, a linear
+    /// pre-pass counts the anchor-free paths reaching each node in
+    /// topological order and promotes a node to an anchor whenever the
+    /// count would exceed the budget. This bounds every node's territory
+    /// membership (and hence the whole analysis) to `O(budget · |E|)` at
+    /// the cost of extra anchors — the same time/space trade the overflow
+    /// loop makes, applied up front. `None` (the default) preserves the
+    /// paper's anchor placement exactly; million-node planning wants a
+    /// small budget (8–64).
+    pub territory_budget: Option<u64>,
 }
 
 impl Algo2Config {
@@ -60,6 +70,7 @@ impl Algo2Config {
             forced_anchors: Vec::new(),
             batch_overflow: false,
             territory_workers: 1,
+            territory_budget: None,
         }
     }
 
@@ -81,6 +92,12 @@ impl Algo2Config {
         self.territory_workers = workers;
         self
     }
+
+    /// Caps territory overlap (see [`Algo2Config::territory_budget`]).
+    pub fn with_territory_budget(mut self, budget: u64) -> Self {
+        self.territory_budget = Some(budget.max(1));
+        self
+    }
 }
 
 /// The result of Algorithm 2: per-site addition values, per-anchor inflated
@@ -95,6 +112,9 @@ pub struct Encoding {
     pub is_anchor: Vec<bool>,
     /// Anchors chosen by the overflow-restart loop (excludes roots/forced).
     pub overflow_anchors: Vec<NodeIx>,
+    /// Anchors pre-placed by the territory-budget pass (see
+    /// [`Algo2Config::territory_budget`]); empty without a budget.
+    pub budget_anchors: Vec<NodeIx>,
     /// The single addition value of each call site.
     pub site_av: HashMap<SiteId, u128>,
     /// `icc[n][r]`: inflated calling-context count of node `n` relative to
@@ -164,7 +184,10 @@ impl Encoding {
         if graph.node_count() == 0 || graph.roots().is_empty() {
             return Err(EncodeError::NoRoots);
         }
-        let order = topological_order(graph, excluded).map_err(|_| EncodeError::StillCyclic)?;
+        // One dense mask conversion up front; every pass of the analysis
+        // then checks exclusion with an array load instead of a hash probe.
+        let mask = deltapath_callgraph::excluded_mask(graph, excluded);
+        let order = topological_order_masked(graph, &mask).map_err(|_| EncodeError::StillCyclic)?;
         let n = graph.node_count();
         let cap = config.width.capacity();
 
@@ -174,6 +197,30 @@ impl Encoding {
         }
         for &a in &config.forced_anchors {
             is_anchor[a.index()] = true;
+        }
+        // Territory-budget pre-pass: one linear sweep promoting a node to an
+        // anchor wherever the anchor-free path count would exceed the
+        // budget. Every later pass is then bounded by `budget` work per
+        // node/edge instead of the full territory overlap.
+        let mut budget_anchors: Vec<NodeIx> = Vec::new();
+        if let Some(budget) = config.territory_budget {
+            let budget = budget.max(1);
+            let mut paths: Vec<u64> = vec![0; n];
+            for &node in &order {
+                let i = node.index();
+                let mut c: u64 = 0;
+                for &e in graph.in_edges(node) {
+                    if mask[e.index()] {
+                        continue;
+                    }
+                    c = c.saturating_add(paths[graph.edge(e).caller.index()]);
+                }
+                if !is_anchor[i] && c > budget {
+                    is_anchor[i] = true;
+                    budget_anchors.push(node);
+                }
+                paths[i] = if is_anchor[i] { 1 } else { c };
+            }
         }
         let base_anchor_count = is_anchor.iter().filter(|&&b| b).count();
         let mut overflow_anchors: Vec<NodeIx> = Vec::new();
@@ -185,17 +232,21 @@ impl Encoding {
         'again: loop {
             let territories_span = ScopedSpan::enter(sink, names::ALGO2_TERRITORIES);
             let (nanchors, eanchors) =
-                identify_territories(graph, excluded, &is_anchor, config.territory_workers, sink);
+                identify_territories(graph, &mask, &is_anchor, config.territory_workers, sink);
             if sink.enabled() {
                 let anchor_count = is_anchor.iter().filter(|&&b| b).count() as u64;
                 territories_span
                     .finish(&[("iteration", restarts as u64), ("anchors", anchor_count)]);
             }
 
-            let mut cav: Vec<HashMap<NodeIx, u128>> = (0..n)
-                .map(|i| nanchors[i].iter().map(|&r| (r, 0u128)).collect())
-                .collect();
-            let mut icc: Vec<HashMap<NodeIx, u128>> = vec![HashMap::new(); n];
+            // Positional CAV/ICC tables: `cav[i][p]` / `icc_v[i][p]` hold
+            // the value relative to anchor `nanchors[i][p]`. The anchor
+            // lists come out of territory identification ascending, so a
+            // position resolves with a binary search over a short sorted
+            // slice — the hot loop never hashes. The public HashMap form is
+            // materialized once on success.
+            let mut cav: Vec<Vec<u128>> = nanchors.iter().map(|a| vec![0u128; a.len()]).collect();
+            let mut icc_v: Vec<Vec<u128>> = nanchors.iter().map(|a| vec![0u128; a.len()]).collect();
             let mut site_av: HashMap<SiteId, u128> = HashMap::new();
             let mut batch_pending: Vec<NodeIx> = Vec::new();
 
@@ -205,15 +256,16 @@ impl Encoding {
             let walk_span = ScopedSpan::enter(sink, names::ALGO2_INTERVAL_WALK);
             for &node in &order {
                 for &e in graph.in_edges(node) {
-                    if excluded.contains(&e) {
+                    if mask[e.index()] {
                         continue;
                     }
                     let site = graph.edge(e).site;
                     if site_av.contains_key(&site) {
                         continue;
                     }
-                    match calculate_increment(graph, excluded, &eanchors, &mut cav, &icc, site, cap)
-                    {
+                    match calculate_increment(
+                        graph, &mask, &nanchors, &eanchors, &mut cav, &icc_v, site, cap,
+                    ) {
                         Ok(av) => {
                             site_av.insert(site, av);
                         }
@@ -244,13 +296,11 @@ impl Encoding {
                         }
                     }
                 }
-                if is_anchor[node.index()] {
-                    icc[node.index()].insert(node, 1);
+                let i = node.index();
+                if is_anchor[i] {
+                    icc_v[i][anchor_pos(&nanchors[i], node)] = 1;
                 } else {
-                    for &r in &nanchors[node.index()] {
-                        let v = cav[node.index()][&r];
-                        icc[node.index()].insert(r, v);
-                    }
+                    icc_v[i].copy_from_slice(&cav[i]);
                 }
             }
             walk_span.finish(&[
@@ -279,11 +329,36 @@ impl Encoding {
                 continue 'again;
             }
 
-            let max_icc = icc
-                .iter()
-                .flat_map(|m| m.values().copied())
-                .max()
-                .unwrap_or(0);
+            // An anchor's ICC map is `{self: 1}` only — relative values to
+            // other anchors are undefined there, so its positional row
+            // contributes exactly the 1 at its own slot.
+            let mut max_icc = 0u128;
+            for i in 0..n {
+                if is_anchor[i] {
+                    if !nanchors[i].is_empty() {
+                        max_icc = max_icc.max(1);
+                    }
+                } else {
+                    for &v in &icc_v[i] {
+                        max_icc = max_icc.max(v);
+                    }
+                }
+            }
+            let icc: Vec<HashMap<NodeIx, u128>> = (0..n)
+                .map(|i| {
+                    if is_anchor[i] {
+                        let mut m = HashMap::with_capacity(1);
+                        m.insert(NodeIx::from_index(i), 1u128);
+                        m
+                    } else {
+                        nanchors[i]
+                            .iter()
+                            .copied()
+                            .zip(icc_v[i].iter().copied())
+                            .collect()
+                    }
+                })
+                .collect();
             let mut anchors: Vec<NodeIx> = (0..n)
                 .filter(|&i| is_anchor[i])
                 .map(NodeIx::from_index)
@@ -303,6 +378,7 @@ impl Encoding {
                 anchors,
                 is_anchor,
                 overflow_anchors,
+                budget_anchors,
                 site_av,
                 icc,
                 nanchors,
@@ -359,7 +435,7 @@ impl Encoding {
 /// node/edge is recorded at most once per anchor.
 fn identify_territories(
     graph: &CallGraph,
-    excluded: &HashSet<EdgeIx>,
+    excluded: &[bool],
     is_anchor: &[bool],
     workers: usize,
     sink: &dyn Telemetry,
@@ -396,7 +472,7 @@ fn identify_territories(
                 continue;
             }
             for &e in graph.out_edges(node) {
-                if excluded.contains(&e) {
+                if excluded[e.index()] {
                     continue;
                 }
                 eanchors[e.index()].push(r);
@@ -417,7 +493,7 @@ fn identify_territories(
 /// path.
 fn walk_territory(
     graph: &CallGraph,
-    excluded: &HashSet<EdgeIx>,
+    excluded: &[bool],
     is_anchor: &[bool],
     r: NodeIx,
     visited: &mut [u32],
@@ -434,7 +510,7 @@ fn walk_territory(
             continue;
         }
         for &e in graph.out_edges(node) {
-            if excluded.contains(&e) {
+            if excluded[e.index()] {
                 continue;
             }
             edges.push(e);
@@ -456,7 +532,7 @@ fn walk_territory(
 /// — exactly what the sequential reference produces.
 fn identify_territories_parallel(
     graph: &CallGraph,
-    excluded: &HashSet<EdgeIx>,
+    excluded: &[bool],
     is_anchor: &[bool],
     workers: usize,
     sink: &dyn Telemetry,
@@ -527,27 +603,42 @@ fn identify_territories_parallel(
     (nanchors, eanchors)
 }
 
+/// Position of anchor `r` in an ascending per-node/per-edge anchor list.
+/// Territory identification guarantees membership: an edge's anchors are a
+/// subset of both its endpoints' anchors.
+#[inline]
+fn anchor_pos(list: &[NodeIx], r: NodeIx) -> usize {
+    list.binary_search(&r)
+        .expect("territory anchor present in the anchor list")
+}
+
 /// The paper's `CalculateIncrement` with overflow detection: returns the
 /// site's addition value, or `Err(caller)` naming the node to promote to an
 /// anchor when a candidate value would exceed the width capacity.
+///
+/// `cav`/`icc` are the positional tables parallel to `nanchors` (see the
+/// interval walk); a caller's ICC row is always assigned before its
+/// out-edges are processed, so reads never see an uninitialized slot.
+#[allow(clippy::too_many_arguments)]
 fn calculate_increment(
     graph: &CallGraph,
-    excluded: &HashSet<EdgeIx>,
+    excluded: &[bool],
+    nanchors: &[Vec<NodeIx>],
     eanchors: &[Vec<NodeIx>],
-    cav: &mut [HashMap<NodeIx, u128>],
-    icc: &[HashMap<NodeIx, u128>],
+    cav: &mut [Vec<u128>],
+    icc: &[Vec<u128>],
     site: SiteId,
     cap: u128,
 ) -> Result<u128, NodeIx> {
     // Line 30-35: a = max over dispatch targets and their reaching anchors.
     let mut av = 0u128;
     for &e in graph.site_edges(site) {
-        if excluded.contains(&e) {
+        if excluded[e.index()] {
             continue;
         }
-        let callee = graph.edge(e).callee;
+        let callee = graph.edge(e).callee.index();
         for &r in &eanchors[e.index()] {
-            av = av.max(cav[callee.index()][&r]);
+            av = av.max(cav[callee][anchor_pos(&nanchors[callee], r)]);
         }
     }
     // Line 36-40: raise every target's candidate, checking for overflow.
@@ -555,28 +646,28 @@ fn calculate_increment(
     // candidate values untouched — the batched restart mode keeps scanning
     // after an overflow and must not observe partial updates.
     for &e in graph.site_edges(site) {
-        if excluded.contains(&e) {
+        if excluded[e.index()] {
             continue;
         }
         let edge = graph.edge(e);
+        let caller = edge.caller.index();
         for &r in &eanchors[e.index()] {
-            let base = icc[edge.caller.index()]
-                .get(&r)
-                .copied()
-                .expect("caller ICC assigned before its out-edges are processed");
+            let base = icc[caller][anchor_pos(&nanchors[caller], r)];
             if base.saturating_add(av) > cap {
                 return Err(edge.caller);
             }
         }
     }
     for &e in graph.site_edges(site) {
-        if excluded.contains(&e) {
+        if excluded[e.index()] {
             continue;
         }
         let edge = graph.edge(e);
+        let caller = edge.caller.index();
+        let callee = edge.callee.index();
         for &r in &eanchors[e.index()] {
-            let base = icc[edge.caller.index()][&r];
-            cav[edge.callee.index()].insert(r, base + av);
+            let base = icc[caller][anchor_pos(&nanchors[caller], r)];
+            cav[callee][anchor_pos(&nanchors[callee], r)] = base + av;
         }
     }
     Ok(av)

@@ -58,6 +58,14 @@ pub struct PlanConfig {
     /// methods. Only affects selective encoding; entries from dynamically
     /// loaded classes remain statically unknowable and use search decoding.
     pub anchor_ucp_entries: bool,
+    /// Batched overflow handling for Algorithm 2 (see
+    /// [`Algo2Config::batch_overflow`]). `false` (the default) restarts the
+    /// analysis after every single overflow — the paper's `goto again`
+    /// loop, whose restart counts we report. `true` collects every
+    /// overflowing caller per pass and anchors them together, dropping the
+    /// restart count from O(anchors) to a handful — the mode million-node
+    /// planning uses.
+    pub batch_overflow: bool,
     /// Worker threads for Algorithm 2's per-anchor territory tables. `0` or
     /// `1` (the default) selects the sequential reference implementation;
     /// larger values fan the independent per-anchor walks out over a scoped
@@ -65,6 +73,11 @@ pub struct PlanConfig {
     /// parallel path is an execution strategy, not a different algorithm
     /// (see [`Algo2Config::territory_workers`]).
     pub territory_workers: usize,
+    /// Optional territory-overlap cap for Algorithm 2 (see
+    /// [`Algo2Config::territory_budget`]). `None` (the default) keeps the
+    /// paper's anchor placement; a small budget (8–64) pre-places anchors
+    /// so million-node planning stays linear in the graph.
+    pub territory_budget: Option<u64>,
 }
 
 impl Default for PlanConfig {
@@ -77,7 +90,9 @@ impl Default for PlanConfig {
             cpt: true,
             cpt_minimal: false,
             anchor_ucp_entries: true,
+            batch_overflow: false,
             territory_workers: 1,
+            territory_budget: None,
         }
     }
 }
@@ -114,10 +129,24 @@ impl PlanConfig {
         self
     }
 
+    /// Enables batched overflow handling (see
+    /// [`batch_overflow`](PlanConfig::batch_overflow)).
+    pub fn with_batch_overflow(mut self) -> Self {
+        self.batch_overflow = true;
+        self
+    }
+
     /// Sets the territory-walk worker count (see
     /// [`territory_workers`](PlanConfig::territory_workers)).
     pub fn with_territory_workers(mut self, workers: usize) -> Self {
         self.territory_workers = workers;
+        self
+    }
+
+    /// Caps territory overlap (see
+    /// [`territory_budget`](PlanConfig::territory_budget)).
+    pub fn with_territory_budget(mut self, budget: u64) -> Self {
+        self.territory_budget = Some(budget.max(1));
         self
     }
 }
@@ -266,9 +295,15 @@ impl EncodingPlan {
             ("back_edges", info.back_edges.len() as u64),
             ("forced_anchors", forced.len() as u64),
         ]);
-        let algo2_config = Algo2Config::new(config.width)
+        let mut algo2_config = Algo2Config::new(config.width)
             .with_forced_anchors(forced)
             .with_territory_workers(config.territory_workers);
+        if config.batch_overflow {
+            algo2_config = algo2_config.with_batch_overflow();
+        }
+        if let Some(budget) = config.territory_budget {
+            algo2_config = algo2_config.with_territory_budget(budget);
+        }
         let encoding = Encoding::analyze_with(&graph, &excluded, &algo2_config, sink)?;
         let sid_span = ScopedSpan::enter(sink, names::PLAN_SIDS);
         let sids = SidTable::compute(&graph);
@@ -509,11 +544,13 @@ impl EncodingPlan {
         let g = &self.graph;
         writeln!(
             out,
-            "width={:?} cpt={} cpt_minimal={} anchor_ucp={} entry={}",
+            "width={:?} cpt={} cpt_minimal={} anchor_ucp={} batch={} budget={:?} entry={}",
             self.config.width,
             self.config.cpt,
             self.config.cpt_minimal,
             self.config.anchor_ucp_entries,
+            self.config.batch_overflow,
+            self.config.territory_budget,
             self.entry_method.index(),
         )
         .unwrap();

@@ -65,6 +65,7 @@ mod hierarchy;
 mod ids;
 mod parse;
 mod program;
+mod skeleton;
 mod stmt;
 mod symbols;
 mod validate;
@@ -74,6 +75,7 @@ pub use hierarchy::Hierarchy;
 pub use ids::{ClassId, MethodId, SiteId};
 pub use parse::{parse_program, ParseError};
 pub use program::{CallSite, Class, Method, MethodKind, Origin, Program, Scope};
+pub use skeleton::{skeleton_program, SkeletonSite};
 pub use stmt::{ArgExpr, CallKind, Receiver, Stmt};
 pub use symbols::{Symbol, SymbolTable};
 pub use validate::ValidationError;

@@ -1,0 +1,136 @@
+//! Graph-only skeleton programs.
+//!
+//! The planner, auditor and DOT export all take a [`Program`], but an
+//! imported or synthesized call *graph* has no statement-level program
+//! behind it. A skeleton program supplies exactly the surface those passes
+//! read — methods with names, call sites with callers and dispatch kinds,
+//! an entry — with empty bodies and no validation-relevant structure. It is
+//! *not* runnable (bodies are empty), so the VM/oracle differential suites
+//! use real generated programs instead.
+
+use std::collections::HashMap;
+
+use crate::ids::{ClassId, MethodId, SiteId};
+use crate::program::{CallSite, Class, Method, MethodKind, Origin, Program, Scope};
+use crate::stmt::{ArgExpr, CallKind};
+use crate::symbols::SymbolTable;
+
+/// One call site of a skeleton program: which method contains it and how it
+/// dispatches. The site's [`SiteId`] is its position in the slice passed to
+/// [`skeleton_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct SkeletonSite {
+    /// The containing method.
+    pub caller: MethodId,
+    /// Static or virtual dispatch (virtual sites participate in
+    /// CPT-minimal instrumentation decisions).
+    pub kind: CallKind,
+}
+
+/// Builds a minimal [`Program`] with `method_count` empty static methods
+/// (`G.m0`, `G.m1`, …) in one class and the given call sites, entered at
+/// `entry`. Intended for planning/auditing imported or synthetic call graphs
+/// whose edges reference these method and site ids.
+///
+/// # Panics
+///
+/// Panics if `method_count` is zero, `entry` is out of range, or any site's
+/// caller is out of range.
+pub fn skeleton_program(
+    name: &str,
+    method_count: usize,
+    sites: &[SkeletonSite],
+    entry: MethodId,
+) -> Program {
+    assert!(method_count > 0, "a skeleton program needs >= 1 method");
+    assert!(
+        entry.index() < method_count,
+        "entry {entry} out of range for {method_count} method(s)"
+    );
+    let class_id = ClassId::from_index(0);
+    let mut symbols = SymbolTable::new();
+    let mut methods = Vec::with_capacity(method_count);
+    for i in 0..method_count {
+        methods.push(Method {
+            id: MethodId::from_index(i),
+            class: class_id,
+            name: symbols.intern(&format!("m{i}")),
+            kind: MethodKind::Static,
+            work: 0,
+            body: Vec::new(),
+        });
+    }
+    let callee_name = symbols.intern("callee");
+    let call_sites: Vec<CallSite> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            assert!(
+                s.caller.index() < method_count,
+                "site {i} caller {} out of range for {method_count} method(s)",
+                s.caller
+            );
+            CallSite {
+                id: SiteId::from_index(i),
+                caller: s.caller,
+                kind: s.kind,
+                declared: class_id,
+                method: callee_name,
+                receiver: None,
+                arg: ArgExpr::Param,
+            }
+        })
+        .collect();
+    let class = Class {
+        id: class_id,
+        name: "G".to_string(),
+        super_class: None,
+        methods: (0..method_count).map(MethodId::from_index).collect(),
+        origin: Origin::Static,
+        scope: Scope::Application,
+    };
+    Program {
+        name: name.to_string(),
+        classes: vec![class],
+        methods,
+        sites: call_sites,
+        entry,
+        symbols,
+        resolution: HashMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skeleton_has_named_methods_and_sites() {
+        let sites = [
+            SkeletonSite {
+                caller: MethodId::from_index(0),
+                kind: CallKind::Static,
+            },
+            SkeletonSite {
+                caller: MethodId::from_index(1),
+                kind: CallKind::Virtual,
+            },
+        ];
+        let p = skeleton_program("skel", 3, &sites, MethodId::from_index(0));
+        assert_eq!(p.methods().len(), 3);
+        assert_eq!(p.sites().len(), 2);
+        assert_eq!(p.entry(), MethodId::from_index(0));
+        assert_eq!(p.method_name(MethodId::from_index(2)), "G.m2");
+        assert_eq!(p.site(SiteId::from_index(1)).kind(), CallKind::Virtual);
+        assert_eq!(
+            p.site(SiteId::from_index(1)).caller(),
+            MethodId::from_index(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "entry")]
+    fn out_of_range_entry_panics() {
+        skeleton_program("bad", 1, &[], MethodId::from_index(5));
+    }
+}

@@ -10,6 +10,10 @@
 //!   benchmarks of the paper's evaluation;
 //! * [`figures`] — the paper's worked examples (Figures 4, 6, 7) as
 //!   runnable programs for end-to-end tests and the repository examples;
+//! * [`scale`] — a streaming generator for 10^5–10^6-method call graphs
+//!   (power-law out-degree, polymorphic fan-out, controlled recursion and
+//!   dynamic-loading density) with a small-scale runnable-program
+//!   materialization for oracle replay;
 //! * [`rng`] — the vendored SplitMix64 generator all sampling goes through
 //!   (the build environment has no registry access, so no `rand`).
 //!
@@ -30,5 +34,6 @@
 
 pub mod figures;
 pub mod rng;
+pub mod scale;
 pub mod specjvm;
 pub mod synthetic;

@@ -13,6 +13,8 @@
 //! deltapath flamegraph <benchmark> [--contexts|--spans] [--out FILE]
 //! deltapath flamegraph --all --check               # validate against the stack-walk oracle
 //! deltapath lint <benchmark>|--all [--json] [--deny-warnings] [--scope app|all] [--width BITS]
+//! deltapath import <file> [--lint] [--dot] [--render] [--width BITS] [--budget N]   # deltapath.graph.v1
+//! deltapath generate [--methods N] [--seed S] [--out FILE]             # scale graph to file
 //! ```
 
 use std::collections::HashMap;
@@ -20,13 +22,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use deltapath::baselines::{CctEncoder, PccEncoder, PccWidth};
+use deltapath::callgraph::skeleton_for_graph;
 use deltapath::telemetry::Json;
+use deltapath::workloads::scale::ScaleConfig;
 use deltapath::workloads::specjvm::{program, suite};
 use deltapath::{
-    audit_plan_with, Analysis, CallGraph, Capture, CollectMode, CompiledDeltaEncoder,
-    ContextEncoder, ContextProfile, ContextStats, DeltaEncoder, EncodingPlan, EncodingWidth,
-    EventLog, FoldedStacks, GraphConfig, GraphStats, NullCollector, NullEncoder, PlanConfig,
-    Program, RunReport, ScopeFilter, SpanProfiler, StackWalkEncoder, Telemetry, Vm, VmConfig,
+    audit_plan_with, parse_graph, render_graph, Analysis, CallGraph, Capture, CollectMode,
+    CompiledDeltaEncoder, ContextEncoder, ContextProfile, ContextStats, DeltaEncoder, EncodingPlan,
+    EncodingWidth, EventLog, FoldedStacks, GraphConfig, GraphStats, ImportError, NullCollector,
+    NullEncoder, PlanConfig, Program, RunReport, ScopeFilter, SpanProfiler, StackWalkEncoder,
+    Telemetry, Vm, VmConfig,
 };
 
 fn main() -> ExitCode {
@@ -41,6 +46,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("flamegraph") => cmd_flamegraph(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
         _ => {
             eprintln!(
                 "usage: deltapath <list|inspect|dot|run|decode|report|trace|flamegraph|lint> [benchmark] [options]\n\
@@ -73,7 +80,18 @@ fn main() -> ExitCode {
                  \x20   --json             machine-readable report (schema deltapath.lint.v1)\n\
                  \x20   --deny-warnings    exit with failure on warnings, not just errors\n\
                  \x20   --scope app|all    selective vs full encoding (default: app)\n\
-                 \x20   --width BITS       encoding integer width (default: 64)"
+                 \x20   --width BITS       encoding integer width (default: 64)\n\
+                 import <file>             plan an external deltapath.graph.v1 call graph\n\
+                 \x20   --lint             audit the resulting plan (DP0xx diagnostics)\n\
+                 \x20   --dot              print the imported graph in Graphviz format\n\
+                 \x20   --render           re-render the canonical deltapath.graph.v1 form\n\
+                 \x20   --width BITS       encoding integer width (default: 64)\n\
+                 \x20   --budget N         territory budget: bound anchor-free path counts\n\
+                 \x20                      (extra anchors, near-linear planning; try 16-64)\n\
+                 generate                  write a seeded scale graph (deltapath.graph.v1)\n\
+                 \x20   --methods N        graph size (default: 10000)\n\
+                 \x20   --seed S           generator seed (default: 42)\n\
+                 \x20   --out FILE         write to FILE instead of stdout"
             );
             return ExitCode::FAILURE;
         }
@@ -742,6 +760,153 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `deltapath import <file>`: parse an external `deltapath.graph.v1` call
+/// graph, plan it end to end against a skeleton program, and summarize (or
+/// `--lint` / `--dot` / `--render` it).
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing graph file (deltapath.graph.v1 format)")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let imported = match parse_graph(std::io::BufReader::new(file)) {
+        Ok(g) => g,
+        Err(ImportError::Io(e)) => return Err(format!("cannot read {path:?}: {e}")),
+        Err(err) => {
+            let diags = err.diagnostics();
+            for d in diags {
+                eprintln!("{path}: {d}");
+            }
+            return Err(format!(
+                "{path}: import failed with {} diagnostic(s)",
+                diags.len()
+            ));
+        }
+    };
+    for w in &imported.warnings {
+        eprintln!("{path}: {w}");
+    }
+    let graph = imported.graph;
+    let p = skeleton_for_graph(&imported.name, &graph);
+    if args.iter().any(|a| a == "--render") {
+        let mut out = std::io::stdout().lock();
+        render_graph(&graph, &imported.name, &mut out)
+            .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--dot") {
+        let mut out = std::io::stdout().lock();
+        graph
+            .write_dot(&p, &mut out)
+            .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        return Ok(());
+    }
+    let mut config = PlanConfig::default()
+        .with_scope(ScopeFilter::All)
+        .with_width(width_of(args)?)
+        .with_batch_overflow();
+    if let Some(b) = flag(args, "--budget") {
+        let budget = b
+            .parse::<u64>()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("bad --budget value {b:?} (use an integer >= 1)"))?;
+        config = config.with_territory_budget(budget);
+    }
+    let nodes = graph.node_count();
+    let edges = graph.edge_count();
+    let poly_sites = graph
+        .instrumented_sites()
+        .iter()
+        .filter(|&&s| graph.site_edges(s).len() > 1)
+        .count();
+    let lint = args.iter().any(|a| a == "--lint");
+    let plan = EncodingPlan::from_graph(&p, graph, &config).map_err(|e| e.to_string())?;
+    println!(
+        "{} ({path}): {nodes} nodes, {edges} edges, {poly_sites} polymorphic sites",
+        imported.name
+    );
+    let enc = plan.encoding();
+    println!(
+        "  plan ({} encoding): {} instrumented methods, {} sites with ID arithmetic",
+        config.width,
+        plan.instrumented_method_count(),
+        plan.instrumented_site_count()
+    );
+    println!(
+        "  anchors: {} total ({} from overflow, {} analysis restarts)",
+        enc.anchors.len(),
+        enc.overflow_anchor_count(),
+        enc.restarts
+    );
+    println!(
+        "  encoding space: max ICC {} (max ID {})",
+        enc.max_icc,
+        enc.required_max_id()
+    );
+    if lint {
+        let report = deltapath::audit_plan(&p, &plan);
+        for d in &report.diagnostics {
+            println!("{}: {d}", imported.name);
+        }
+        println!(
+            "  audit: {} errors, {} warnings",
+            report.errors(),
+            report.warnings()
+        );
+        if report.errors() > 0 {
+            return Err(format!(
+                "lint failed: {} errors in the imported plan",
+                report.errors()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `deltapath generate`: write a seeded scale call graph in
+/// `deltapath.graph.v1` form, ready for `deltapath import`.
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let methods = match flag(args, "--methods") {
+        None => 10_000,
+        Some(m) => m
+            .parse::<usize>()
+            .ok()
+            .filter(|&m| m >= 2)
+            .ok_or_else(|| format!("bad --methods value {m:?} (use an integer >= 2)"))?,
+    };
+    let seed = match flag(args, "--seed") {
+        None => 42,
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("bad --seed value {s:?}"))?,
+    };
+    let cfg = ScaleConfig::default().with_methods(methods).with_seed(seed);
+    let graph = cfg.build_graph();
+    let name = format!("scale-{methods}-{seed}");
+    match flag(args, "--out") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            render_graph(&graph, &name, &mut out)
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            println!(
+                "wrote {} ({} nodes, {} edges) to {path}",
+                name,
+                graph.node_count(),
+                graph.edge_count()
+            );
+        }
+        None => {
+            let mut out = std::io::stdout().lock();
+            render_graph(&graph, &name, &mut out)
+                .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -96,13 +96,17 @@ pub use deltapath_analysis::{
 pub use deltapath_baselines::{
     BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth,
 };
-pub use deltapath_callgraph::{Analysis, CallGraph, GraphConfig, GraphStats, ScopeFilter};
+pub use deltapath_callgraph::{
+    parse_graph, render_graph, render_graph_string, Analysis, CallGraph, GraphConfig, GraphDiag,
+    GraphDiagCode, GraphStats, ImportError, ImportedGraph, ScopeFilter, GRAPH_SCHEMA,
+};
 pub use deltapath_core::{
     CompiledPlan, DecodeError, DecodeOptions, Decoder, DeltaState, EncodeError, EncodedContext,
     EncodingPlan, EncodingWidth, Frame, FrameTag, PlanConfig, Sid,
 };
 pub use deltapath_ir::{
-    ArgExpr, ClassId, MethodId, MethodKind, Program, ProgramBuilder, Receiver, SiteId,
+    skeleton_program, ArgExpr, ClassId, MethodId, MethodKind, Program, ProgramBuilder, Receiver,
+    SiteId, SkeletonSite,
 };
 pub use deltapath_runtime::{
     Capture, CollectMode, Collector, CompiledDeltaEncoder, ContextEncoder, ContextProfile,

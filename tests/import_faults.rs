@@ -1,0 +1,205 @@
+//! Fault injection for the `deltapath.graph.v1` importer: every class of
+//! malformed input must produce a *stable* `DG0xx` diagnostic — never a
+//! panic, never a silently wrong graph. The codes are append-only API
+//! (tools match on them), so each case pins the exact code.
+
+use deltapath::{parse_graph, render_graph_string, GraphDiagCode, ImportError};
+
+/// Parses `text` and returns the diagnostics of the expected
+/// `ImportError::Invalid` outcome.
+fn expect_invalid(text: &str) -> Vec<deltapath::GraphDiag> {
+    match parse_graph(text.as_bytes()) {
+        Err(ImportError::Invalid { diagnostics }) => diagnostics,
+        Err(ImportError::Io(e)) => panic!("expected Invalid, got Io: {e}"),
+        Ok(g) => panic!(
+            "expected Invalid, got a graph with {} nodes",
+            g.graph.node_count()
+        ),
+    }
+}
+
+/// The distinct codes present in a diagnostic list.
+fn codes(diags: &[deltapath::GraphDiag]) -> Vec<GraphDiagCode> {
+    let mut out: Vec<GraphDiagCode> = diags.iter().map(|d| d.code).collect();
+    out.sort_by_key(|c| c.as_str());
+    out.dedup();
+    out
+}
+
+#[test]
+fn bad_header_is_dg001() {
+    let diags = expect_invalid("deltapath.graph.v999\nnode 0\n");
+    assert_eq!(codes(&diags), [GraphDiagCode::BadHeader]);
+    assert_eq!(diags[0].line, Some(1));
+}
+
+#[test]
+fn empty_input_is_dg007() {
+    // Header only — zero nodes is an error, not an empty graph.
+    let diags = expect_invalid("deltapath.graph.v1\n");
+    assert_eq!(codes(&diags), [GraphDiagCode::EmptyGraph]);
+    // A completely empty file has no header either.
+    let diags = expect_invalid("");
+    assert!(
+        codes(&diags).contains(&GraphDiagCode::EmptyGraph)
+            || codes(&diags).contains(&GraphDiagCode::BadHeader),
+        "empty input must fail with a stable code, got {diags:?}"
+    );
+}
+
+#[test]
+fn unknown_directive_is_dg002() {
+    let diags = expect_invalid("deltapath.graph.v1\nnode 0\nvertex 1\n");
+    assert!(codes(&diags).contains(&GraphDiagCode::UnknownDirective));
+    let dg002 = diags
+        .iter()
+        .find(|d| d.code == GraphDiagCode::UnknownDirective)
+        .expect("DG002 present");
+    assert_eq!(dg002.line, Some(3));
+}
+
+#[test]
+fn truncated_lines_are_dg003() {
+    // `edge` with too few fields, `node` with none, non-numeric ids.
+    for bad in [
+        "edge 0 1",
+        "edge 0",
+        "edge",
+        "node",
+        "entry",
+        "edge 0 one 0",
+        "node -1",
+        "entry x",
+    ] {
+        let text = format!("deltapath.graph.v1\nnode 0\nnode 1\n{bad}\n");
+        let diags = expect_invalid(&text);
+        assert!(
+            codes(&diags).contains(&GraphDiagCode::MalformedLine),
+            "line `{bad}` must be DG003, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_node_is_dg004() {
+    let diags = expect_invalid("deltapath.graph.v1\nnode 7\nnode 7\n");
+    assert!(codes(&diags).contains(&GraphDiagCode::DuplicateNode));
+}
+
+#[test]
+fn dangling_references_are_dg005() {
+    // Edges, entries, roots and UCPs referencing undeclared ids.
+    for bad in ["edge 0 9 0", "edge 9 0 0", "entry 9", "root 9", "ucp 9"] {
+        let text = format!("deltapath.graph.v1\nnode 0\nnode 1\nedge 0 1 0\n{bad}\n");
+        let diags = expect_invalid(&text);
+        assert!(
+            codes(&diags).contains(&GraphDiagCode::DanglingNode),
+            "line `{bad}` must be DG005, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_edge_is_a_dg006_warning() {
+    // The duplicate triple is skipped, the import still succeeds.
+    let text = "deltapath.graph.v1\nnode 0\nnode 1\nentry 0\n\
+                edge 0 1 0\nedge 0 1 0\n";
+    let imported = parse_graph(text.as_bytes()).expect("duplicate edge is a warning");
+    assert_eq!(imported.graph.edge_count(), 1);
+    assert_eq!(codes(&imported.warnings), [GraphDiagCode::DuplicateEdge]);
+}
+
+#[test]
+fn rootless_cycle_is_a_dg008_warning() {
+    // A pure cycle with no entry and no roots parses, but warns: nothing
+    // is reachable for planning.
+    let text = "deltapath.graph.v1\nnode 0\nnode 1\n\
+                edge 0 1 0\nedge 1 0 1\n";
+    let imported = parse_graph(text.as_bytes()).expect("no roots is a warning");
+    assert_eq!(imported.graph.node_count(), 2);
+    assert_eq!(imported.graph.entry(), None);
+    assert_eq!(codes(&imported.warnings), [GraphDiagCode::NoRoots]);
+}
+
+#[test]
+fn sparse_site_ids_are_dg009() {
+    // One edge, site id far beyond the density bound (4 × edges + 16).
+    let text = "deltapath.graph.v1\nnode 0\nnode 1\nentry 0\nedge 0 1 999999\n";
+    let diags = expect_invalid(text);
+    assert!(codes(&diags).contains(&GraphDiagCode::SiteOutOfBounds));
+}
+
+#[test]
+fn duplicate_entry_is_dg010() {
+    let text = "deltapath.graph.v1\nnode 0\nnode 1\nentry 0\nentry 1\n";
+    let diags = expect_invalid(text);
+    assert!(codes(&diags).contains(&GraphDiagCode::DuplicateDirective));
+    let text = "deltapath.graph.v1\ngraph a\ngraph b\nnode 0\n";
+    let diags = expect_invalid(text);
+    assert!(codes(&diags).contains(&GraphDiagCode::DuplicateDirective));
+}
+
+#[test]
+fn all_errors_reported_in_one_pass() {
+    // One file, many problems: the importer must report every one of them
+    // rather than bailing at the first.
+    let text = "deltapath.graph.v1\n\
+                node 0\n\
+                node 0\n\
+                edge 0 5 0\n\
+                edge 0\n\
+                flood 1 2\n\
+                entry 0\n\
+                entry 0\n";
+    let diags = expect_invalid(text);
+    let got = codes(&diags);
+    for want in [
+        GraphDiagCode::DuplicateNode,
+        GraphDiagCode::DanglingNode,
+        GraphDiagCode::MalformedLine,
+        GraphDiagCode::UnknownDirective,
+        GraphDiagCode::DuplicateDirective,
+    ] {
+        assert!(got.contains(&want), "missing {want} in {got:?}");
+    }
+}
+
+#[test]
+fn diagnostics_render_with_code_severity_and_line() {
+    let diags = expect_invalid("deltapath.graph.v1\nnode 0\nnode 0\n");
+    let text = diags[0].to_string();
+    assert!(
+        text.starts_with("DG004 [error] line 3:"),
+        "stable rendering expected, got `{text}`"
+    );
+}
+
+#[test]
+fn valid_graph_survives_a_render_parse_cycle() {
+    // The happy path, pinned here so the fault cases above cannot rot into
+    // an importer that rejects everything.
+    let text = "deltapath.graph.v1\n\
+                graph tiny\n\
+                node 10 0\n\
+                node 20 1\n\
+                node 30 2\n\
+                entry 10\n\
+                root 20\n\
+                ucp 30\n\
+                edge 10 20 0\n\
+                edge 10 30 1\n\
+                edge 20 30 1\n";
+    let a = parse_graph(text.as_bytes()).expect("valid graph");
+    assert!(a.warnings.is_empty(), "{:?}", a.warnings);
+    assert_eq!(a.name, "tiny");
+    assert_eq!(a.graph.node_count(), 3);
+    assert_eq!(a.graph.edge_count(), 3);
+    assert_eq!(a.graph.ucp_entry_candidates().len(), 1);
+    let rendered = render_graph_string(&a.graph, &a.name);
+    let b = parse_graph(rendered.as_bytes()).expect("re-parse");
+    assert_eq!(
+        a.graph.fingerprint(),
+        b.graph.fingerprint(),
+        "render → parse must reproduce the graph exactly"
+    );
+}

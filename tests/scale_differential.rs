@@ -1,0 +1,133 @@
+//! Sampled differential suite over the scale generator: twenty seeded
+//! [`ScaleConfig::sampled`] shapes — each small enough for oracle replay —
+//! are materialized as runnable programs, planned, linted by the static
+//! auditor, and replayed under the VM with every DeltaPath decode checked
+//! against the shadow-stack oracle event by event.
+//!
+//! The sampled grid sweeps depth, fan-out, polymorphic-site density,
+//! recursion and dynamic-entry fractions, so a planning regression that
+//! only bites a particular shape (deep spines, cycle-heavy graphs, …)
+//! still trips one of the twenty. The same shapes are re-planned under a
+//! tight territory budget: the budget pre-pass promotes extra anchors to
+//! bound path multiplicity, and this suite holds that the *encoding stays
+//! exact* — budgets trade table size, never correctness.
+
+mod common;
+
+use common::compare_against_ground_truth;
+use deltapath::workloads::scale::ScaleConfig;
+use deltapath::{audit_plan, EncodingPlan, PlanConfig};
+
+/// Number of sampled configurations in the suite.
+const SAMPLES: usize = 20;
+
+/// Plans sample `i` (optionally budgeted), audits it, and replays the
+/// program under DeltaPath vs the shadow-stack oracle.
+fn check_sample(i: usize, budget: Option<u64>) {
+    let cfg = ScaleConfig::sampled(i);
+    let program = cfg.build_program();
+    let mut config = PlanConfig::default().with_batch_overflow();
+    if let Some(b) = budget {
+        config = config.with_territory_budget(b);
+    }
+    let plan = EncodingPlan::analyze(&program, &config)
+        .unwrap_or_else(|e| panic!("sample {i} (budget {budget:?}): planning failed: {e}"));
+
+    let report = audit_plan(&program, &plan);
+    assert_eq!(
+        report.errors(),
+        0,
+        "sample {i} (budget {budget:?}): auditor found errors: {:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    let cmp = compare_against_ground_truth(&program, &plan);
+    assert!(
+        cmp.hard_failures.is_empty(),
+        "sample {i} (budget {budget:?}): {} hard decode failures, first: {}",
+        cmp.hard_failures.len(),
+        cmp.hard_failures[0]
+    );
+    // Scale programs are closed-world (one application class, all static
+    // dispatch): nothing is out of plan, so every event must decode
+    // exactly — the tolerated bucket exists only for dynamic code.
+    assert_eq!(
+        cmp.tolerated, 0,
+        "sample {i} (budget {budget:?}): closed-world replay tolerated a mismatch"
+    );
+    assert!(
+        cmp.exact > 0,
+        "sample {i} (budget {budget:?}): the workload must emit events"
+    );
+}
+
+#[test]
+fn sampled_scale_configs_decode_exactly_00_04() {
+    for i in 0..5 {
+        check_sample(i, None);
+    }
+}
+
+#[test]
+fn sampled_scale_configs_decode_exactly_05_09() {
+    for i in 5..10 {
+        check_sample(i, None);
+    }
+}
+
+#[test]
+fn sampled_scale_configs_decode_exactly_10_14() {
+    for i in 10..15 {
+        check_sample(i, None);
+    }
+}
+
+#[test]
+fn sampled_scale_configs_decode_exactly_15_19() {
+    for i in 15..SAMPLES {
+        check_sample(i, None);
+    }
+}
+
+#[test]
+fn territory_budget_preserves_exactness() {
+    // A budget of 4 forces the pre-pass to promote anchors aggressively on
+    // every shape; the encoding must remain bit-exact regardless.
+    for i in (0..SAMPLES).step_by(4) {
+        check_sample(i, Some(4));
+    }
+}
+
+#[test]
+fn territory_budget_only_adds_anchors() {
+    let cfg = ScaleConfig::sampled(3);
+    let program = cfg.build_program();
+    let base = EncodingPlan::analyze(&program, &PlanConfig::default().with_batch_overflow())
+        .expect("unbudgeted plan");
+    let tight = EncodingPlan::analyze(
+        &program,
+        &PlanConfig::default()
+            .with_batch_overflow()
+            .with_territory_budget(2),
+    )
+    .expect("budgeted plan");
+    let base_anchors = base.encoding().anchors.len();
+    let tight_anchors = tight.encoding().anchors.len();
+    assert!(
+        tight_anchors >= base_anchors,
+        "a tighter budget can only promote more anchors \
+         ({tight_anchors} budgeted vs {base_anchors} unbudgeted)"
+    );
+    assert!(
+        !tight.encoding().budget_anchors.is_empty(),
+        "budget 2 on a multi-path graph must promote at least one anchor"
+    );
+    assert!(
+        base.encoding().budget_anchors.is_empty(),
+        "an unbudgeted plan must not record budget anchors"
+    );
+}
