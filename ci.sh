@@ -79,6 +79,28 @@ if [ "${1:-}" != "fast" ]; then
         target/scale-smoke.graph --lint --budget 32
 fi
 
+# Differential scale smoke: plan the same 100k graph twice (with and
+# without a territory budget), semantically diff the pair (DP05x codes,
+# deltapath.diff.v1 JSON), and re-lint the budgeted plan incrementally
+# against its own exported baseline. The incremental path must report the
+# identical (clean) finding set while certifying every anchor; it runs in
+# milliseconds where the full audit takes seconds, so an incrementality
+# regression shows up as a CI timeout here first.
+if [ "${1:-}" != "fast" ]; then
+    step cargo run --quiet --release --bin deltapath -- import \
+        target/scale-smoke.graph --budget 32 --plan-out target/scale-smoke.budget.plan
+    step cargo run --quiet --release --bin deltapath -- import \
+        target/scale-smoke.graph --plan-out target/scale-smoke.nobudget.plan
+    echo
+    echo "==> deltapath diff (budget vs no-budget plans)"
+    cargo run --quiet --release --bin deltapath -- diff \
+        target/scale-smoke.nobudget.plan target/scale-smoke.budget.plan \
+        --json > target/scale-smoke.diff.json
+    step cargo run --quiet --release --bin deltapath -- import \
+        target/scale-smoke.graph --lint --budget 32 \
+        --baseline target/scale-smoke.budget.plan
+fi
+
 # The suite must pass under serial test execution too: concurrency bugs
 # (and tests accidentally depending on parallel scheduling) surface as
 # differences between the two runs.

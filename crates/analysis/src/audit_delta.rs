@@ -1,0 +1,673 @@
+//! Impacted-region incremental re-auditing.
+//!
+//! [`audit_delta`] re-audits a changed plan against a baseline captured
+//! from a previous full audit, re-running only the work the change can
+//! actually affect:
+//!
+//! * A **change set** is computed by comparing the new plan's per-row
+//!   [`TableDigests`] (computed once at plan construction) against the
+//!   digests recorded in the baseline: dirty nodes (anchor flag, territory
+//!   row, or ICC row changed; endpoint of a changed edge), dirty edges
+//!   (positional difference, territory row change, excluded-flip,
+//!   addition-value change of their site), dirty sites and dirty method
+//!   entries (any instruction field or addition value changed). Exact
+//!   (non-hashed) comparisons back the digest sweep wherever a false
+//!   negative would change *which passes run*: the excluded edge set, the
+//!   anchor flags and list, the SID table, and the back-edge call pairs
+//!   are compared directly.
+//! * The **impacted anchors** are the closure of the dirty region: every
+//!   anchor whose stored territory (old or new rows) touches a dirty node
+//!   or edge, every anchor that is itself dirty or entered/left the anchor
+//!   list, and every anchor the baseline recorded findings for. Only those
+//!   re-run the per-anchor walk + interval pass; the rest are *certified*
+//!   — their stored rows are byte-identical to the audited baseline's, and
+//!   a clean walk is confined to its stored territory, so an untouched
+//!   territory implies an unchanged walk.
+//! * **Instruction and compiled-lowering checks** re-run per *unit* (one
+//!   site, one method entry): a unit whose digest is clean re-derives the
+//!   same diagnostics, so the baseline's entry stands in for it. The
+//!   rendered-fingerprint catch-all is never needed here — it is provably
+//!   redundant with the itemized per-unit checks (see
+//!   `audit::compiled_findings`).
+//! * **Remaining global passes** (hygiene, back edges, SIDs) are reused
+//!   from the baseline when their inputs are untouched, re-run otherwise.
+//!   Cheap O(n) passes (anchor structure, coverage, width) always re-run.
+//!
+//! The construction guarantees `audit_delta` emits byte-identical
+//! diagnostics to a full [`audit_plan`](crate::audit_plan) of the new plan
+//! — the property the test suite pins across sampled graph shapes and
+//! mutations. When the plans are incomparable (different config lines,
+//! renumbered nodes, shrunken tables) the delta falls back to a full audit
+//! internally; the result is still exact, just not incremental.
+//!
+//! `audit_delta` assumes both plans were produced for the *same program*
+//! (the program supplies method names and site/entry ground truth) and
+//! that `baseline` was captured from an audit of `old_plan`.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use deltapath_callgraph::topological_order;
+use deltapath_core::{EncodingPlan, TableDigests};
+use deltapath_ir::Program;
+use deltapath_telemetry::{names, ScopedSpan, Telemetry};
+
+use crate::audit::{
+    anchor_structure_pass, audit_plan_full, back_edge_pass, compiled_entry_unit, compiled_findings,
+    compiled_global_unit, compiled_site_unit, compute_live, coverage_pass, edge_pass, hygiene_pass,
+    instructions_entry_unit, instructions_pass, instructions_site_unit, node_pass,
+    run_anchor_passes, shape_guard, sids_pass, topo_positions, width_pass, AuditOptions,
+    CompiledFindings, InstructionFindings, OwnerIndex,
+};
+use crate::diag::{AuditReport, Diagnostic};
+
+use deltapath_callgraph::{EdgeIx, NodeIx};
+
+/// Captured state of a full audit: per-pass diagnostics (per-unit where
+/// the pass has units), derived graph facts, and the audited plan's table
+/// digests. Feed it (plus the old plan) to [`audit_delta`] to re-audit
+/// only what a change touched.
+#[derive(Clone, Debug)]
+pub struct AuditBaseline {
+    pub(crate) live: Vec<bool>,
+    pub(crate) topo_ok: bool,
+    pub(crate) topo_pos: Vec<u32>,
+    pub(crate) icc_node_max: Vec<u128>,
+    pub(crate) hygiene: Vec<Diagnostic>,
+    pub(crate) back_edges: Vec<Diagnostic>,
+    pub(crate) instructions: InstructionFindings,
+    pub(crate) sids: Vec<Diagnostic>,
+    pub(crate) compiled: CompiledFindings,
+    /// Non-empty per-anchor findings, keyed by anchor node index.
+    pub(crate) anchor_diags: BTreeMap<usize, Vec<Diagnostic>>,
+    /// Non-empty per-node findings, keyed by node index.
+    pub(crate) node_diags: BTreeMap<usize, Vec<Diagnostic>>,
+    /// Non-empty per-edge findings, keyed by edge index.
+    pub(crate) edge_diags: BTreeMap<usize, Vec<Diagnostic>>,
+    /// Per-row digests of the audited plan's tables.
+    pub(crate) digests: TableDigests,
+}
+
+impl AuditBaseline {
+    /// Builds a baseline for a plan *asserted* to have audited clean (for
+    /// example one reloaded from disk whose previous `lint` run reported
+    /// no findings). Derived graph facts are recomputed; every diagnostic
+    /// set is empty. If the assertion is false, a subsequent
+    /// [`audit_delta`] may reuse findings that no longer hold — lint the
+    /// plan fully once before trusting its baseline.
+    pub fn assume_clean(plan: &EncodingPlan) -> Self {
+        let graph = plan.graph();
+        let enc = plan.encoding();
+        let n = graph.node_count();
+        let live = compute_live(graph);
+        let topo = topological_order(graph, &enc.excluded);
+        let topo_ok = topo.is_ok();
+        let topo_pos = topo_positions(n, topo.as_deref().ok());
+        let icc_node_max = enc
+            .icc
+            .iter()
+            .map(|row| row.values().copied().max().unwrap_or(0))
+            .collect();
+        Self {
+            live,
+            topo_ok,
+            topo_pos,
+            icc_node_max,
+            hygiene: Vec::new(),
+            back_edges: Vec::new(),
+            instructions: InstructionFindings::default(),
+            sids: Vec::new(),
+            compiled: CompiledFindings::default(),
+            anchor_diags: BTreeMap::new(),
+            node_diags: BTreeMap::new(),
+            edge_diags: BTreeMap::new(),
+            digests: plan.table_digests().clone(),
+        }
+    }
+
+    /// The per-row table digests recorded at capture time. Equal digests
+    /// for a row mean [`audit_delta`] treats that row as unchanged.
+    pub fn table_digests(&self) -> &TableDigests {
+        &self.digests
+    }
+}
+
+/// The result of [`audit_delta`].
+#[derive(Clone, Debug)]
+pub struct DeltaOutcome {
+    /// Every finding for the *new* plan, byte-identical to a full audit.
+    pub report: AuditReport,
+    /// A fresh baseline for the new plan (when requested), for chaining
+    /// further incremental audits.
+    pub baseline: Option<AuditBaseline>,
+    /// Anchors certified against the baseline without re-walking.
+    pub certified: usize,
+    /// Anchors whose per-anchor pass re-ran.
+    pub reaudited: usize,
+}
+
+/// Incrementally audits `plan` given its predecessor `old_plan` and the
+/// `baseline` captured when `old_plan` was audited. See the module docs
+/// for the impacted-region rules; the output is byte-identical to
+/// [`audit_plan`](crate::audit_plan) on `plan`.
+pub fn audit_delta(
+    program: &Program,
+    plan: &EncodingPlan,
+    old_plan: &EncodingPlan,
+    baseline: &AuditBaseline,
+    opts: &AuditOptions,
+    sink: &dyn Telemetry,
+) -> DeltaOutcome {
+    let total = ScopedSpan::enter(sink, names::AUDIT_DELTA);
+
+    let graph = plan.graph();
+    let enc = plan.encoding();
+    let n = graph.node_count();
+    let m = graph.edge_count();
+
+    if let Some(diag) = shape_guard(plan) {
+        let report = AuditReport {
+            diagnostics: vec![diag],
+            nodes: n,
+            edges: m,
+            anchors: enc.anchors.len(),
+        }
+        .finish();
+        total.finish(&[("diagnostics", 1)]);
+        return DeltaOutcome {
+            report,
+            baseline: None,
+            certified: 0,
+            reaudited: 0,
+        };
+    }
+
+    let full_fallback = |sink: &dyn Telemetry| {
+        let outcome = audit_plan_full(program, plan, opts, sink);
+        let reaudited = outcome.report.anchors;
+        DeltaOutcome {
+            report: outcome.report,
+            baseline: outcome.baseline,
+            certified: 0,
+            reaudited,
+        }
+    };
+
+    let old_graph = old_plan.graph();
+    let old_enc = old_plan.encoding();
+    let n_old = old_graph.node_count();
+    let m_old = old_graph.edge_count();
+
+    // Incomparable predecessors: different knobs, a corrupt old shape, a
+    // shrunken graph, or renumbered nodes. Fall back to a full audit — the
+    // result stays exact, only the incrementality is lost.
+    if plan.config_line() != old_plan.config_line()
+        || shape_guard(old_plan).is_some()
+        || n < n_old
+        || m < m_old
+        || (0..n_old).any(|i| {
+            graph.method_of(NodeIx::from_index(i)) != old_graph.method_of(NodeIx::from_index(i))
+        })
+    {
+        let out = full_fallback(sink);
+        total.finish(&[("diagnostics", out.report.diagnostics.len() as u64)]);
+        return out;
+    }
+
+    // ---- Change detection ----
+    let change_span = ScopedSpan::enter(sink, names::AUDIT_CHANGE_SET);
+    let digests = plan.table_digests();
+    let old_digests = &baseline.digests;
+    let mut dirty_node = vec![false; n];
+    let mut dirty_edge = vec![false; m];
+    let mut graph_changed = n != n_old || m != m_old;
+    let mut anchors_changed = false;
+
+    dirty_node[n_old..].fill(true);
+    for (i, edge) in graph.edges().iter().enumerate() {
+        if i >= m_old {
+            dirty_edge[i] = true;
+            dirty_node[edge.caller.index()] = true;
+            dirty_node[edge.callee.index()] = true;
+            continue;
+        }
+        let old_edge = &old_graph.edges()[i];
+        if edge.caller != old_edge.caller
+            || edge.callee != old_edge.callee
+            || edge.site != old_edge.site
+        {
+            graph_changed = true;
+            dirty_edge[i] = true;
+            dirty_node[edge.caller.index()] = true;
+            dirty_node[edge.callee.index()] = true;
+            dirty_node[old_edge.caller.index()] = true;
+            dirty_node[old_edge.callee.index()] = true;
+        }
+    }
+
+    let set_of = |nodes: &[NodeIx]| nodes.iter().copied().collect::<BTreeSet<_>>();
+    let roots_changed = set_of(graph.roots()) != set_of(old_graph.roots())
+        || set_of(graph.ucp_entry_candidates()) != set_of(old_graph.ucp_entry_candidates());
+
+    // Anchor flags are compared exactly (they gate whole passes); the
+    // flipped nodes feed both the dirty set and the entry-unit set (the
+    // entry instruction's is_anchor consistency check reads the flag).
+    let mut flipped: Vec<usize> = Vec::new();
+    for (i, dirty) in dirty_node.iter_mut().enumerate() {
+        let was = i < n_old && old_enc.is_anchor[i];
+        if enc.is_anchor[i] != was {
+            anchors_changed = true;
+            *dirty = true;
+            flipped.push(i);
+        }
+    }
+
+    // Node/edge rows (territory, ICC): digest sweep over dense u64s.
+    for (i, dirty) in dirty_node.iter_mut().enumerate().take(n_old) {
+        if digests.nodes.get(i) != old_digests.nodes.get(i) {
+            *dirty = true;
+        }
+    }
+    for (i, dirty) in dirty_edge.iter_mut().enumerate().take(m_old) {
+        if digests.edges.get(i) != old_digests.edges.get(i) {
+            *dirty = true;
+            let edge = &graph.edges()[i];
+            dirty_node[edge.caller.index()] = true;
+            dirty_node[edge.callee.index()] = true;
+        }
+    }
+
+    // Excluded edges: exact symmetric difference (the set also gates the
+    // topological order and the back-edge pass, and may hold out-of-range
+    // indices the per-edge digests cannot represent).
+    let mut excluded_changed = false;
+    let mut mark_excluded = |e: EdgeIx, dirty_edge: &mut Vec<bool>, dirty_node: &mut Vec<bool>| {
+        excluded_changed = true;
+        if e.index() < m {
+            dirty_edge[e.index()] = true;
+            let edge = &graph.edges()[e.index()];
+            dirty_node[edge.caller.index()] = true;
+            dirty_node[edge.callee.index()] = true;
+        }
+    };
+    for &e in &enc.excluded {
+        if !old_enc.excluded.contains(&e) {
+            mark_excluded(e, &mut dirty_edge, &mut dirty_node);
+        }
+    }
+    for &e in &old_enc.excluded {
+        if !enc.excluded.contains(&e) {
+            mark_excluded(e, &mut dirty_edge, &mut dirty_node);
+        }
+    }
+
+    // Sites: digest sweep, then exact comparison of the dirty ones. An
+    // addition-value change makes the site's edges (and their endpoints)
+    // dirty — the interval checks of every adjacent anchor read it.
+    let mut dirty_sites: Vec<deltapath_ir::SiteId> = Vec::new();
+    for s in 0..digests.sites.len().max(old_digests.sites.len()) {
+        if digests.sites.get(s) != old_digests.sites.get(s) {
+            let site = deltapath_ir::SiteId::from_index(s);
+            dirty_sites.push(site);
+            if enc.site_av.get(&site) != old_enc.site_av.get(&site) {
+                for &e in graph.site_edges(site) {
+                    dirty_edge[e.index()] = true;
+                    let edge = &graph.edges()[e.index()];
+                    dirty_node[edge.caller.index()] = true;
+                    dirty_node[edge.callee.index()] = true;
+                }
+            }
+        }
+    }
+
+    // Method entries: digest sweep, plus every flipped anchor's method
+    // (the entry unit cross-checks is_anchor against the flag).
+    let mut dirty_entries: Vec<deltapath_ir::MethodId> = Vec::new();
+    for i in 0..digests.entries.len().max(old_digests.entries.len()) {
+        if digests.entries.get(i) != old_digests.entries.get(i) {
+            dirty_entries.push(deltapath_ir::MethodId::from_index(i));
+        }
+    }
+    // SIDs: the pass reads only the SID table, site expected_sids and
+    // entry sids — gate on exact comparisons of those, not on every
+    // instruction field.
+    let sid_changed = plan.sids() != old_plan.sids();
+    let sid_inputs_changed = dirty_sites
+        .iter()
+        .any(|&s| plan.site(s).map(|i| i.expected_sid) != old_plan.site(s).map(|i| i.expected_sid))
+        || dirty_entries
+            .iter()
+            .any(|&mm| plan.entry(mm).map(|i| i.sid) != old_plan.entry(mm).map(|i| i.sid));
+    let mut dirty_entry_methods: BTreeSet<deltapath_ir::MethodId> =
+        dirty_entries.iter().copied().collect();
+    for &i in &flipped {
+        dirty_entry_methods.insert(graph.method_of(NodeIx::from_index(i)));
+    }
+
+    let new_backs: HashSet<_> = plan.back_edge_call_pairs().collect();
+    let old_backs: HashSet<_> = old_plan.back_edge_call_pairs().collect();
+    let backs_changed = new_backs != old_backs;
+
+    change_span.finish(&[
+        (
+            "dirty_nodes",
+            dirty_node.iter().filter(|&&d| d).count() as u64,
+        ),
+        (
+            "dirty_edges",
+            dirty_edge.iter().filter(|&&d| d).count() as u64,
+        ),
+        ("dirty_sites", dirty_sites.len() as u64),
+        ("dirty_entries", dirty_entry_methods.len() as u64),
+    ]);
+
+    // ---- Derived graph facts: reuse or recompute ----
+    let hygiene_span = ScopedSpan::enter(sink, names::AUDIT_HYGIENE);
+    let (live, hygiene): (Cow<'_, [bool]>, Cow<'_, [Diagnostic]>) =
+        if graph_changed || roots_changed {
+            let live = compute_live(graph);
+            let hygiene = hygiene_pass(program, plan, &live);
+            (Cow::Owned(live), Cow::Owned(hygiene))
+        } else {
+            (
+                Cow::Borrowed(&baseline.live),
+                Cow::Borrowed(&baseline.hygiene),
+            )
+        };
+    hygiene_span.finish(&[("diagnostics", hygiene.len() as u64)]);
+
+    let (topo_ok, topo_pos): (bool, Cow<'_, [u32]>) = if graph_changed || excluded_changed {
+        let topo = topological_order(graph, &enc.excluded);
+        (
+            topo.is_ok(),
+            Cow::Owned(topo_positions(n, topo.as_deref().ok())),
+        )
+    } else {
+        (baseline.topo_ok, Cow::Borrowed(&baseline.topo_pos))
+    };
+    let topo_flipped = topo_ok != baseline.topo_ok;
+
+    // The back-edge pass reads anchor flags only for excluded-edge
+    // callees, so a flip elsewhere cannot change its output.
+    let back_span = ScopedSpan::enter(sink, names::AUDIT_BACK_EDGES);
+    let flip_hits_excluded = || {
+        let mut flipped_flag = vec![false; n];
+        for &i in &flipped {
+            flipped_flag[i] = true;
+        }
+        enc.excluded
+            .iter()
+            .any(|&e| e.index() < m && flipped_flag[graph.edges()[e.index()].callee.index()])
+    };
+    let back_edges: Cow<'_, [Diagnostic]> = if graph_changed
+        || excluded_changed
+        || backs_changed
+        || topo_flipped
+        || (anchors_changed && flip_hits_excluded())
+    {
+        Cow::Owned(back_edge_pass(program, plan, topo_ok))
+    } else {
+        Cow::Borrowed(&baseline.back_edges)
+    };
+    back_span.finish(&[]);
+
+    let structure_span = ScopedSpan::enter(sink, names::AUDIT_ANCHORS);
+    let structure = anchor_structure_pass(program, plan);
+    structure_span.finish(&[]);
+
+    // ---- Impacted anchors: the closure of the dirty region ----
+    let mut wanted = vec![false; n];
+    let want = |r: NodeIx, wanted: &mut Vec<bool>| {
+        if r.index() < n {
+            wanted[r.index()] = true;
+        }
+    };
+    for i in 0..n {
+        if !dirty_node[i] {
+            continue;
+        }
+        if enc.is_anchor[i] || (i < n_old && old_enc.is_anchor[i]) {
+            wanted[i] = true;
+        }
+        for &r in &enc.nanchors[i] {
+            want(r, &mut wanted);
+        }
+        if i < n_old {
+            for &r in &old_enc.nanchors[i] {
+                want(r, &mut wanted);
+            }
+        }
+    }
+    for (i, _) in dirty_edge.iter().enumerate().filter(|(_, d)| **d) {
+        for &r in &enc.eanchors[i] {
+            want(r, &mut wanted);
+        }
+        if i < m_old {
+            for &r in &old_enc.eanchors[i] {
+                want(r, &mut wanted);
+            }
+        }
+    }
+    // Anchor-list membership changes re-walk even when the flag and the
+    // rows did not move: an anchor only in the new list was never walked
+    // by the baseline audit.
+    let new_list: BTreeSet<NodeIx> = enc.anchors.iter().copied().collect();
+    let old_list: BTreeSet<NodeIx> = old_enc.anchors.iter().copied().collect();
+    for &r in new_list.symmetric_difference(&old_list) {
+        want(r, &mut wanted);
+    }
+    for &r in baseline.anchor_diags.keys() {
+        if r < n {
+            wanted[r] = true;
+        }
+    }
+    let mut anchors: Vec<NodeIx> = enc.anchors.clone();
+    anchors.sort_unstable();
+    anchors.dedup();
+    if topo_flipped {
+        for &r in &anchors {
+            wanted[r.index()] = true;
+        }
+    }
+    let reaudit: Vec<NodeIx> = anchors
+        .iter()
+        .copied()
+        .filter(|r| wanted[r.index()])
+        .collect();
+
+    let owners = OwnerIndex::build(plan, Some(&wanted));
+    let (anchor_diags, walk_covered) = run_anchor_passes(
+        program, plan, &reaudit, &owners, topo_ok, &topo_pos, opts, sink,
+    );
+
+    // ---- Per-node / per-edge: recompute dirty, reuse the rest ----
+    let tables_span = ScopedSpan::enter(sink, names::AUDIT_TABLES);
+    let mut icc_node_max = baseline.icc_node_max.clone();
+    icc_node_max.resize(n, 0);
+    let mut node_diags: BTreeMap<usize, Vec<Diagnostic>> = BTreeMap::new();
+    for i in 0..n {
+        if dirty_node[i] {
+            let diags = node_pass(program, plan, NodeIx::from_index(i));
+            icc_node_max[i] = enc.icc[i].values().copied().max().unwrap_or(0);
+            if !diags.is_empty() {
+                node_diags.insert(i, diags);
+            }
+        } else if let Some(diags) = baseline.node_diags.get(&i) {
+            node_diags.insert(i, diags.clone());
+        }
+    }
+    let mut edge_diags: BTreeMap<usize, Vec<Diagnostic>> = BTreeMap::new();
+    for (i, &edge_is_dirty) in dirty_edge.iter().enumerate() {
+        if edge_is_dirty {
+            let diags = edge_pass(program, plan, EdgeIx::from_index(i));
+            if !diags.is_empty() {
+                edge_diags.insert(i, diags);
+            }
+        } else if let Some(diags) = baseline.edge_diags.get(&i) {
+            edge_diags.insert(i, diags.clone());
+        }
+    }
+
+    // Coverage: a certified anchor's walk equals its stored territory, so
+    // stored membership stands in for the walk it did not re-run.
+    let mut certified_anchor = vec![false; n];
+    for &r in &anchors {
+        certified_anchor[r.index()] = !wanted[r.index()];
+    }
+    let mut covered = walk_covered;
+    for (i, row) in enc.nanchors.iter().enumerate() {
+        if !covered[i] {
+            covered[i] = row
+                .iter()
+                .any(|r| r.index() < n && certified_anchor[r.index()]);
+        }
+    }
+    let coverage = coverage_pass(program, plan, &live, &covered);
+    let width = if topo_ok {
+        width_pass(plan, icc_node_max.iter().copied().max().unwrap_or(0))
+    } else {
+        Vec::new()
+    };
+    tables_span.finish(&[]);
+
+    // ---- Instruction / SID / compiled passes: per-unit or reuse ----
+    let instr_span = ScopedSpan::enter(sink, names::AUDIT_INSTRUCTIONS);
+    let instructions: Cow<'_, InstructionFindings> = if graph_changed {
+        Cow::Owned(instructions_pass(program, plan))
+    } else if dirty_sites.is_empty() && dirty_entry_methods.is_empty() {
+        Cow::Borrowed(&baseline.instructions)
+    } else {
+        let mut findings = baseline.instructions.clone();
+        for &site in &dirty_sites {
+            let diags = instructions_site_unit(program, plan, site);
+            if diags.is_empty() {
+                findings.sites.remove(&site.index());
+            } else {
+                findings.sites.insert(site.index(), diags);
+            }
+        }
+        for &method in &dirty_entry_methods {
+            let diags = instructions_entry_unit(program, plan, method);
+            if diags.is_empty() {
+                findings.entries.remove(&method.index());
+            } else {
+                findings.entries.insert(method.index(), diags);
+            }
+        }
+        Cow::Owned(findings)
+    };
+    instr_span.finish(&[]);
+
+    let sid_span = ScopedSpan::enter(sink, names::AUDIT_SIDS);
+    let sids: Cow<'_, [Diagnostic]> = if graph_changed || sid_changed || sid_inputs_changed {
+        Cow::Owned(sids_pass(program, plan))
+    } else {
+        Cow::Borrowed(&baseline.sids)
+    };
+    sid_span.finish(&[]);
+
+    // The lowering of one site/entry is a pure projection of that row
+    // (plus the MAY_BACK_EDGE bit from the back-edge pair set), so clean
+    // digests + unchanged pairs let baseline units stand; with nothing
+    // dirty the lowering itself is skipped.
+    let compiled_span = ScopedSpan::enter(sink, names::AUDIT_COMPILED);
+    let compiled: Cow<'_, CompiledFindings> = if graph_changed || backs_changed {
+        Cow::Owned(compiled_findings(plan, &plan.compile()))
+    } else if dirty_sites.is_empty() && dirty_entry_methods.is_empty() {
+        Cow::Borrowed(&baseline.compiled)
+    } else {
+        let image = plan.compile();
+        let mut findings = baseline.compiled.clone();
+        findings.global = compiled_global_unit(plan, &image);
+        for &site in &dirty_sites {
+            let diags = compiled_site_unit(plan, &image, site);
+            if diags.is_empty() {
+                findings.sites.remove(&site.index());
+            } else {
+                findings.sites.insert(site.index(), diags);
+            }
+        }
+        for &method in &dirty_entry_methods {
+            let diags = compiled_entry_unit(plan, &image, method);
+            if diags.is_empty() {
+                findings.entries.remove(&method.index());
+            } else {
+                findings.entries.insert(method.index(), diags);
+            }
+        }
+        Cow::Owned(findings)
+    };
+    compiled_span.finish(&[]);
+
+    // ---- Assemble ----
+    let new_baseline = opts.collect_baseline.then(|| AuditBaseline {
+        live: live.clone().into_owned(),
+        topo_ok,
+        topo_pos: topo_pos.clone().into_owned(),
+        icc_node_max,
+        hygiene: hygiene.clone().into_owned(),
+        back_edges: back_edges.clone().into_owned(),
+        instructions: instructions.clone().into_owned(),
+        sids: sids.clone().into_owned(),
+        compiled: compiled.clone().into_owned(),
+        anchor_diags: anchor_diags
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(r, d)| (r.index(), d.clone()))
+            .collect(),
+        node_diags: node_diags.clone(),
+        edge_diags: edge_diags.clone(),
+        digests: digests.clone(),
+    });
+
+    let mut report = AuditReport {
+        diagnostics: Vec::new(),
+        nodes: n,
+        edges: m,
+        anchors: enc.anchors.len(),
+    };
+    report.diagnostics.extend(hygiene.into_owned());
+    report.diagnostics.extend(back_edges.into_owned());
+    report.diagnostics.extend(structure);
+    for (_, diags) in anchor_diags {
+        report.diagnostics.extend(diags);
+    }
+    for diags in node_diags.into_values() {
+        report.diagnostics.extend(diags);
+    }
+    for diags in edge_diags.into_values() {
+        report.diagnostics.extend(diags);
+    }
+    report.diagnostics.extend(coverage);
+    report.diagnostics.extend(width);
+    let instructions = instructions.into_owned();
+    for diags in instructions.sites.into_values() {
+        report.diagnostics.extend(diags);
+    }
+    for diags in instructions.entries.into_values() {
+        report.diagnostics.extend(diags);
+    }
+    report.diagnostics.extend(sids.into_owned());
+    let compiled = compiled.into_owned();
+    report.diagnostics.extend(compiled.global);
+    for diags in compiled.sites.into_values() {
+        report.diagnostics.extend(diags);
+    }
+    for diags in compiled.entries.into_values() {
+        report.diagnostics.extend(diags);
+    }
+
+    let reaudited = reaudit.len();
+    let certified = anchors.len() - reaudited;
+    total.finish(&[
+        ("diagnostics", report.diagnostics.len() as u64),
+        ("reaudited", reaudited as u64),
+        ("certified", certified as u64),
+    ]);
+    DeltaOutcome {
+        report: report.finish(),
+        baseline: new_baseline,
+        certified,
+        reaudited,
+    }
+}

@@ -39,7 +39,9 @@ impl fmt::Display for Severity {
 /// Codes are grouped by subsystem: `DP00x` encoding-table soundness
 /// (Algorithms 1 and 2), `DP01x` width/overflow, `DP02x` call-path
 /// tracking (SIDs), `DP03x` call-graph hygiene, `DP04x` compiled
-/// dispatch-table lowering.
+/// dispatch-table lowering, `DP05x` semantic plan differences (emitted by
+/// [`diff_plans`](crate::diff_plans), always warnings — two plans differing
+/// is a fact, not a defect).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// `DP001` — the CAV/ICC tables are inconsistent with the addition
@@ -91,6 +93,33 @@ pub enum LintCode {
     /// typically a stale image kept across a plan rebuild (dynamic class
     /// loading).
     CompiledPlanDivergence,
+    /// `DP050` — two plans were produced under different configurations
+    /// (width, CPT mode, anchor policy, territory budget or entry method),
+    /// so every downstream difference may simply follow from the knobs.
+    /// Also the diff catch-all: fingerprints differ but no itemized
+    /// difference was found.
+    PlanConfigDivergence,
+    /// `DP051` — the encoded call graphs differ structurally: methods or
+    /// edges present in only one plan, or roots/UCP/entry designations
+    /// moved.
+    GraphShapeDelta,
+    /// `DP052` — the anchor sets differ: a method is an anchor (or an
+    /// overflow anchor) in one plan but not the other.
+    AnchorSetDelta,
+    /// `DP053` — the encoding tables differ: a site's addition value,
+    /// an excluded back-edge, or the width bookkeeping (`max_icc`,
+    /// restart count) changed between the plans.
+    EncodingTableDelta,
+    /// `DP054` — territory membership moved: a node or edge belongs to a
+    /// different set of anchor territories in the two plans.
+    TerritoryDelta,
+    /// `DP055` — the SID partition was repartitioned: co-dispatch sets
+    /// were split or merged between the plans.
+    SidRepartition,
+    /// `DP056` — the instrumentation instructions differ: a site or entry
+    /// instruction changed, appeared or vanished, or a back-edge call pair
+    /// moved.
+    InstructionDelta,
 }
 
 impl LintCode {
@@ -107,6 +136,13 @@ impl LintCode {
             LintCode::UnclassifiedBackEdge => "DP031",
             LintCode::DeadEdge => "DP032",
             LintCode::CompiledPlanDivergence => "DP040",
+            LintCode::PlanConfigDivergence => "DP050",
+            LintCode::GraphShapeDelta => "DP051",
+            LintCode::AnchorSetDelta => "DP052",
+            LintCode::EncodingTableDelta => "DP053",
+            LintCode::TerritoryDelta => "DP054",
+            LintCode::SidRepartition => "DP055",
+            LintCode::InstructionDelta => "DP056",
         }
     }
 
@@ -123,6 +159,13 @@ impl LintCode {
             LintCode::UnclassifiedBackEdge => "UnclassifiedBackEdge",
             LintCode::DeadEdge => "DeadEdge",
             LintCode::CompiledPlanDivergence => "CompiledPlanDivergence",
+            LintCode::PlanConfigDivergence => "PlanConfigDivergence",
+            LintCode::GraphShapeDelta => "GraphShapeDelta",
+            LintCode::AnchorSetDelta => "AnchorSetDelta",
+            LintCode::EncodingTableDelta => "EncodingTableDelta",
+            LintCode::TerritoryDelta => "TerritoryDelta",
+            LintCode::SidRepartition => "SidRepartition",
+            LintCode::InstructionDelta => "InstructionDelta",
         }
     }
 }
@@ -278,6 +321,13 @@ mod tests {
         assert_eq!(LintCode::UnclassifiedBackEdge.code(), "DP031");
         assert_eq!(LintCode::DeadEdge.code(), "DP032");
         assert_eq!(LintCode::CompiledPlanDivergence.code(), "DP040");
+        assert_eq!(LintCode::PlanConfigDivergence.code(), "DP050");
+        assert_eq!(LintCode::GraphShapeDelta.code(), "DP051");
+        assert_eq!(LintCode::AnchorSetDelta.code(), "DP052");
+        assert_eq!(LintCode::EncodingTableDelta.code(), "DP053");
+        assert_eq!(LintCode::TerritoryDelta.code(), "DP054");
+        assert_eq!(LintCode::SidRepartition.code(), "DP055");
+        assert_eq!(LintCode::InstructionDelta.code(), "DP056");
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod build;
+mod delta;
 mod dot;
 mod graph;
 pub mod import;
@@ -65,6 +66,7 @@ mod stats;
 mod topo;
 
 pub use build::{Analysis, GraphConfig, ScopeFilter};
+pub use delta::GraphChangeSet;
 pub use graph::{CallGraph, Edge, EdgeIx, NodeIx};
 pub use import::{
     parse_graph, render_graph, render_graph_string, GraphDiag, GraphDiagCode, ImportError,

@@ -73,6 +73,7 @@ mod error;
 mod pcce;
 mod plan;
 mod plan_compiled;
+mod plan_io;
 mod pruned;
 mod relative;
 mod sid;
@@ -86,8 +87,11 @@ pub use context::{EncodedContext, Frame, FrameTag};
 pub use decode::{DecodeOptions, Decoder};
 pub use error::{DecodeError, EncodeError};
 pub use pcce::PcceEncoding;
-pub use plan::{EncodingPlan, EntryInstr, PlanConfig, SiteInstr};
+pub use plan::{EncodingPlan, EntryInstr, PlanConfig, SiteInstr, TableDigests};
 pub use plan_compiled::{CompiledPlan, EntryWord, SiteWord};
+pub use plan_io::{
+    parse_plan, render_plan, render_plan_string, ImportedPlan, PlanParseError, PLAN_SCHEMA,
+};
 pub use pruned::prune_to_targets;
 pub use relative::{RelativeEntry, RelativeLog};
 pub use sid::{Sid, SidTable};

@@ -60,7 +60,7 @@ impl fmt::Display for Sid {
 }
 
 /// Set identifiers for every method in an encoded call graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SidTable {
     /// SID per node index of the graph the table was computed for.
     sid_of_node: Vec<Sid>,
@@ -122,6 +122,28 @@ impl SidTable {
         Self {
             set_count: sid_of_root.len(),
             sid_of_node,
+            method_sids,
+        }
+    }
+
+    /// Reassembles a table from a parsed per-node SID column — the inverse
+    /// of rendering `sid node=N ...` lines. `set_count` and the per-method
+    /// lookup are re-derived from the column and the graph; the reserved
+    /// UNKNOWN SID does not count as a set.
+    pub(crate) fn from_parts(sid_of_node: Vec<Sid>, graph: &CallGraph) -> Self {
+        let set_count = sid_of_node
+            .iter()
+            .filter(|&&s| s != Sid::UNKNOWN)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let method_sids = graph
+            .nodes()
+            .filter(|node| node.index() < sid_of_node.len())
+            .map(|node| (graph.method_of(node), sid_of_node[node.index()]))
+            .collect();
+        Self {
+            sid_of_node,
+            set_count,
             method_sids,
         }
     }

@@ -52,7 +52,8 @@ mod trace;
 pub use json::{Json, JsonError};
 pub use metrics::{log2_bucket, log2_bucket_limit, Counter, Log2Histogram, MaxGauge, LOG2_BUCKETS};
 pub use report::{
-    HistogramSnapshot, ReportError, RunReport, LINT_REPORT_SCHEMA, RUN_REPORT_SCHEMA,
+    HistogramSnapshot, ReportError, RunReport, DIFF_REPORT_SCHEMA, LINT_REPORT_SCHEMA,
+    RUN_REPORT_SCHEMA,
 };
 pub use sink::{NullTelemetry, Recorder, ScopedSpan, SpanTimer, Telemetry};
 pub use spans::{

@@ -32,6 +32,11 @@ pub const RUN_REPORT_SCHEMA: &str = "deltapath.run_report.v1";
 /// any incompatible field change.
 pub const LINT_REPORT_SCHEMA: &str = "deltapath.lint.v1";
 
+/// Schema identifier stamped into semantic plan-diff reports (`deltapath
+/// diff --json`, `deltapath-analysis`). Bump the trailing version on any
+/// incompatible field change.
+pub const DIFF_REPORT_SCHEMA: &str = "deltapath.diff.v1";
+
 /// A point-in-time snapshot of one histogram.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {

@@ -13,7 +13,10 @@
 //! deltapath flamegraph <benchmark> [--contexts|--spans] [--out FILE]
 //! deltapath flamegraph --all --check               # validate against the stack-walk oracle
 //! deltapath lint <benchmark>|--all [--json] [--deny-warnings] [--scope app|all] [--width BITS]
-//! deltapath import <file> [--lint] [--dot] [--render] [--width BITS] [--budget N]   # deltapath.graph.v1
+//!     [--workers N] [--baseline FILE] [--plan-out FILE]
+//! deltapath import <file> [--lint] [--dot] [--render] [--width BITS] [--budget N]
+//!     [--workers N] [--baseline FILE] [--plan-out FILE]                # deltapath.graph.v1
+//! deltapath diff <old.plan> <new.plan> [--json]    # semantic plan diff (deltapath.diff.v1)
 //! deltapath generate [--methods N] [--seed S] [--out FILE]             # scale graph to file
 //! ```
 
@@ -27,11 +30,13 @@ use deltapath::telemetry::Json;
 use deltapath::workloads::scale::ScaleConfig;
 use deltapath::workloads::specjvm::{program, suite};
 use deltapath::{
-    audit_plan_with, parse_graph, render_graph, Analysis, CallGraph, Capture, CollectMode,
-    CompiledDeltaEncoder, ContextEncoder, ContextProfile, ContextStats, DeltaEncoder, EncodingPlan,
-    EncodingWidth, EventLog, FoldedStacks, GraphConfig, GraphStats, ImportError, NullCollector,
-    NullEncoder, PlanConfig, Program, RunReport, ScopeFilter, SpanProfiler, StackWalkEncoder,
-    Telemetry, Vm, VmConfig,
+    audit_delta, audit_plan_full, audit_plan_with, diff_plans, parse_graph, parse_plan,
+    render_graph, render_plan, Analysis, AuditBaseline, AuditOptions, AuditReport, CallGraph,
+    Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder, ContextProfile, ContextStats,
+    DeltaEncoder, EncodingPlan, EncodingWidth, EventLog, FoldedStacks, GraphConfig, GraphStats,
+    ImportError, ImportedPlan, NullCollector, NullEncoder, NullTelemetry, PlanConfig,
+    PlanParseError, Program, RunReport, ScopeFilter, SpanProfiler, StackWalkEncoder, Telemetry, Vm,
+    VmConfig,
 };
 
 fn main() -> ExitCode {
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
         Some("flamegraph") => cmd_flamegraph(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("import") => cmd_import(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         _ => {
             eprintln!(
@@ -81,6 +87,11 @@ fn main() -> ExitCode {
                  \x20   --deny-warnings    exit with failure on warnings, not just errors\n\
                  \x20   --scope app|all    selective vs full encoding (default: app)\n\
                  \x20   --width BITS       encoding integer width (default: 64)\n\
+                 \x20   --workers N        parallel per-anchor audit workers (default: 1)\n\
+                 \x20   --baseline FILE    incremental re-audit against a previously linted\n\
+                 \x20                      deltapath.plan.v1 file (identical diagnostics,\n\
+                 \x20                      only the impacted region re-runs)\n\
+                 \x20   --plan-out FILE    write the audited plan (deltapath.plan.v1)\n\
                  import <file>             plan an external deltapath.graph.v1 call graph\n\
                  \x20   --lint             audit the resulting plan (DP0xx diagnostics)\n\
                  \x20   --dot              print the imported graph in Graphviz format\n\
@@ -88,6 +99,13 @@ fn main() -> ExitCode {
                  \x20   --width BITS       encoding integer width (default: 64)\n\
                  \x20   --budget N         territory budget: bound anchor-free path counts\n\
                  \x20                      (extra anchors, near-linear planning; try 16-64)\n\
+                 \x20   --workers N        parallel per-anchor audit workers (with --lint)\n\
+                 \x20   --baseline FILE    incremental --lint against a deltapath.plan.v1 file\n\
+                 \x20   --plan-out FILE    write the resulting plan (deltapath.plan.v1)\n\
+                 diff <old> <new>          semantically compare two deltapath.plan.v1 files\n\
+                 \x20                      (DP05x diagnostics; anchors, tables, territories,\n\
+                 \x20                      SIDs, instructions)\n\
+                 \x20   --json             machine-readable report (schema deltapath.diff.v1)\n\
                  generate                  write a seeded scale graph (deltapath.graph.v1)\n\
                  \x20   --methods N        graph size (default: 10000)\n\
                  \x20   --seed S           generator seed (default: 42)\n\
@@ -709,6 +727,75 @@ fn cmd_flamegraph(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads and parses a `deltapath.plan.v1` file.
+fn load_plan(path: &str) -> Result<ImportedPlan, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    match parse_plan(std::io::BufReader::new(file)) {
+        Ok(p) => Ok(p),
+        Err(PlanParseError::Io(e)) => Err(format!("cannot read {path:?}: {e}")),
+        Err(PlanParseError::Invalid(diags)) => {
+            for d in &diags {
+                eprintln!("{path}: {d}");
+            }
+            Err(format!(
+                "{path}: plan parse failed with {} diagnostic(s)",
+                diags.len()
+            ))
+        }
+    }
+}
+
+/// Writes a plan to `path` in canonical `deltapath.plan.v1` form.
+fn write_plan(plan: &EncodingPlan, name: &str, path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    render_plan(plan, name, &mut out).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+/// Parses `--workers N` into [`AuditOptions`] (no baseline capture — the
+/// CLI re-derives baselines from plan files instead of holding them).
+fn audit_options_of(args: &[String]) -> Result<AuditOptions, String> {
+    let workers = match flag(args, "--workers") {
+        None => 1,
+        Some(w) => w
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad --workers value {w:?} (use an integer >= 1)"))?,
+    };
+    Ok(AuditOptions::default()
+        .with_workers(workers)
+        .without_baseline())
+}
+
+/// Audits `plan` fully, or incrementally against `--baseline FILE` (a
+/// previously linted `deltapath.plan.v1` — the file's clean lint is the
+/// certification the delta audit builds on). Prints the certified /
+/// re-audited split in incremental mode.
+fn audited_report(
+    p: &Program,
+    plan: &EncodingPlan,
+    args: &[String],
+    quiet: bool,
+) -> Result<AuditReport, String> {
+    let opts = audit_options_of(args)?;
+    match flag(args, "--baseline") {
+        Some(path) => {
+            let old = load_plan(&path)?;
+            let baseline = AuditBaseline::assume_clean(&old.plan);
+            let outcome = audit_delta(p, plan, &old.plan, &baseline, &opts, &NullTelemetry);
+            if !quiet {
+                eprintln!(
+                    "incremental audit vs {path}: {} anchors certified, {} re-audited",
+                    outcome.certified, outcome.reaudited
+                );
+            }
+            Ok(outcome.report)
+        }
+        None => Ok(audit_plan_full(p, plan, &opts, &NullTelemetry).report),
+    }
+}
+
 /// Statically audits one benchmark's (or every benchmark's) encoding plan
 /// with [`deltapath::audit_plan`] and reports the `DP0xx` diagnostics.
 /// Exits with failure on any error-severity finding, or on any finding at
@@ -721,18 +808,23 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         .with_scope(scope)
         .with_width(width_of(args)?);
 
-    let programs: Vec<Program> = if args.iter().any(|a| a == "--all") {
+    let all = args.iter().any(|a| a == "--all");
+    let programs: Vec<Program> = if all {
         suite().iter().map(|b| b.program()).collect()
     } else {
         vec![load(args)?]
     };
+    let plan_out = flag(args, "--plan-out");
+    if plan_out.is_some() && all {
+        return Err("--plan-out needs a single benchmark, not --all".to_owned());
+    }
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
     for p in &programs {
         let plan = EncodingPlan::analyze(p, &config)
             .map_err(|e| format!("{}: plan analysis failed: {e}", p.name()))?;
-        let report = deltapath::audit_plan(p, &plan);
+        let report = audited_report(p, &plan, args, json)?;
         errors += report.errors();
         warnings += report.warnings();
         if json {
@@ -751,6 +843,9 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                 report.warnings()
             );
         }
+        if let Some(path) = &plan_out {
+            write_plan(&plan, p.name(), path)?;
+        }
     }
     if errors > 0 || (deny_warnings && warnings > 0) {
         Err(format!(
@@ -760,6 +855,45 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `deltapath diff <old.plan> <new.plan>`: semantically compare two plan
+/// files layer by layer and report classified `DP05x` differences.
+/// Differences are informational — the exit status only reflects whether
+/// the files could be read and compared.
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [old_path, new_path] = files[..] else {
+        return Err("usage: deltapath diff <old.plan> <new.plan> [--json]".to_owned());
+    };
+    let old = load_plan(old_path)?;
+    let new = load_plan(new_path)?;
+    let diff = diff_plans(&old.plan, &new.plan);
+    if json {
+        println!("{}", diff.to_json(&old.name, &new.name));
+        return Ok(());
+    }
+    for d in &diff.diagnostics {
+        println!("{d}");
+    }
+    if diff.is_empty() {
+        println!("{old_path} and {new_path} are semantically identical");
+    } else {
+        let counts: Vec<String> = diff
+            .counts()
+            .iter()
+            .map(|(code, n)| format!("{} x{n}", code.code()))
+            .collect();
+        println!(
+            "{old_path} ({} nodes) -> {new_path} ({} nodes): {} difference(s) [{}]",
+            diff.old_nodes,
+            diff.new_nodes,
+            diff.counts().values().sum::<usize>(),
+            counts.join(", ")
+        );
+    }
+    Ok(())
 }
 
 /// `deltapath import <file>`: parse an external `deltapath.graph.v1` call
@@ -846,8 +980,12 @@ fn cmd_import(args: &[String]) -> Result<(), String> {
         enc.max_icc,
         enc.required_max_id()
     );
+    if let Some(path) = flag(args, "--plan-out") {
+        write_plan(&plan, &imported.name, &path)?;
+        println!("  wrote plan ({}) to {path}", deltapath::PLAN_SCHEMA);
+    }
     if lint {
-        let report = deltapath::audit_plan(&p, &plan);
+        let report = audited_report(&p, &plan, args, false)?;
         for d in &report.diagnostics {
             println!("{}: {d}", imported.name);
         }

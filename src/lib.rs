@@ -91,18 +91,22 @@ pub use deltapath_telemetry as telemetry;
 pub use deltapath_workloads as workloads;
 
 pub use deltapath_analysis::{
-    audit_compiled, audit_plan, audit_plan_with, AuditReport, Diagnostic, LintCode, Severity,
+    audit_compiled, audit_delta, audit_plan, audit_plan_full, audit_plan_with, diff_plans,
+    AuditBaseline, AuditOptions, AuditOutcome, AuditReport, DeltaOutcome, Diagnostic, LintCode,
+    PlanDiff, Severity,
 };
 pub use deltapath_baselines::{
     BreadcrumbsDecoder, BreadcrumbsEncoder, CctEncoder, PccEncoder, PccWidth,
 };
 pub use deltapath_callgraph::{
-    parse_graph, render_graph, render_graph_string, Analysis, CallGraph, GraphConfig, GraphDiag,
-    GraphDiagCode, GraphStats, ImportError, ImportedGraph, ScopeFilter, GRAPH_SCHEMA,
+    parse_graph, render_graph, render_graph_string, Analysis, CallGraph, GraphChangeSet,
+    GraphConfig, GraphDiag, GraphDiagCode, GraphStats, ImportError, ImportedGraph, ScopeFilter,
+    GRAPH_SCHEMA,
 };
 pub use deltapath_core::{
-    CompiledPlan, DecodeError, DecodeOptions, Decoder, DeltaState, EncodeError, EncodedContext,
-    EncodingPlan, EncodingWidth, Frame, FrameTag, PlanConfig, Sid,
+    parse_plan, render_plan, render_plan_string, CompiledPlan, DecodeError, DecodeOptions, Decoder,
+    DeltaState, EncodeError, EncodedContext, EncodingPlan, EncodingWidth, Frame, FrameTag,
+    ImportedPlan, PlanConfig, PlanParseError, Sid, PLAN_SCHEMA,
 };
 pub use deltapath_ir::{
     skeleton_program, ArgExpr, ClassId, MethodId, MethodKind, Program, ProgramBuilder, Receiver,

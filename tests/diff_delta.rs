@@ -1,0 +1,313 @@
+//! Differential-analysis properties, at integration scope:
+//!
+//! * plan render → parse round-trips are pinned by `EncodingPlan::fingerprint`
+//!   across sampled scale shapes;
+//! * `diff_plans` is empty exactly on semantically identical plans and
+//!   classifies real mutations;
+//! * `audit_delta` emits **byte-identical** diagnostics to a full
+//!   `audit_plan` across sampled `ScaleConfig` shapes × localized
+//!   mutations (territory-budget promotion, call-edge addition, territory
+//!   split via anchor promotion), on clean and corrupt plans, serial and
+//!   parallel, including chained incremental audits.
+
+use deltapath::callgraph::skeleton_for_graph;
+use deltapath::workloads::scale::ScaleConfig;
+use deltapath::{
+    audit_delta, audit_plan_full, diff_plans, parse_plan, render_plan_string, AuditBaseline,
+    AuditOptions, CallGraph, EncodingPlan, NullTelemetry, PlanConfig, Program, ScopeFilter, SiteId,
+};
+
+/// Sampled `ScaleConfig` shapes the equivalence sweep covers.
+const SHAPES: usize = 20;
+
+fn plan_config() -> PlanConfig {
+    PlanConfig::default()
+        .with_scope(ScopeFilter::All)
+        .with_batch_overflow()
+}
+
+fn shape(i: usize) -> (Program, CallGraph) {
+    let g = ScaleConfig::sampled(i).build_graph();
+    let p = skeleton_for_graph(&format!("shape-{i}"), &g);
+    (p, g)
+}
+
+fn full_json(p: &Program, plan: &EncodingPlan) -> String {
+    audit_plan_full(
+        p,
+        plan,
+        &AuditOptions::default().without_baseline(),
+        &NullTelemetry,
+    )
+    .report
+    .to_json("x")
+}
+
+fn delta_json(
+    p: &Program,
+    plan: &EncodingPlan,
+    old: &EncodingPlan,
+    baseline: &AuditBaseline,
+    opts: &AuditOptions,
+) -> (String, usize, usize) {
+    let out = audit_delta(p, plan, old, baseline, opts, &NullTelemetry);
+    (out.report.to_json("x"), out.certified, out.reaudited)
+}
+
+/// Adds one forward call edge (fresh site) to a clone of `g` and rebuilds
+/// the matching skeleton program.
+fn with_added_edge(g: &CallGraph, name: &str) -> (Program, CallGraph) {
+    let mut g2 = g.clone();
+    let n = g2.node_count();
+    let caller = g2.nodes().nth(n / 3).unwrap();
+    let callee = g2.nodes().nth(2 * n / 3).unwrap();
+    let site = SiteId::from_index(g2.edges().iter().map(|e| e.site.index()).max().unwrap_or(0) + 1);
+    g2.add_edge(caller, callee, site);
+    let p2 = skeleton_for_graph(name, &g2);
+    (p2, g2)
+}
+
+#[test]
+fn render_parse_round_trip_is_pinned_by_fingerprint() {
+    for i in [0usize, 5, 13] {
+        let (p, g) = shape(i);
+        let plan = EncodingPlan::from_graph(&p, g, &plan_config()).unwrap();
+        let text = render_plan_string(&plan, &format!("shape-{i}"));
+        let parsed = parse_plan(text.as_bytes()).unwrap();
+        assert_eq!(parsed.name, format!("shape-{i}"));
+        assert_eq!(
+            parsed.plan.fingerprint(),
+            plan.fingerprint(),
+            "shape {i}: round-trip lost plan content"
+        );
+        let diff = diff_plans(&plan, &parsed.plan);
+        assert!(diff.is_empty(), "shape {i}: {:?}", diff.diagnostics);
+    }
+}
+
+/// App-scope plans keep the *program's* site numbering, so their graphs
+/// carry site ids far beyond the subgraph's edge count (compress: max
+/// site 1404 on 175 edges). The renderer records `site_cap=` precisely so
+/// the parser accepts them — a dense-ids-only bound rejects every scoped
+/// plan of a bundled workload.
+#[test]
+fn render_parse_round_trips_sparse_site_ids() {
+    let config = PlanConfig::default().with_scope(ScopeFilter::ApplicationOnly);
+    for bench in deltapath::workloads::specjvm::suite() {
+        let plan = EncodingPlan::analyze(&bench.program(), &config).unwrap();
+        let text = render_plan_string(&plan, bench.name);
+        let parsed = parse_plan(text.as_bytes())
+            .unwrap_or_else(|e| panic!("{}: scoped plan failed to re-parse: {e}", bench.name));
+        assert_eq!(
+            parsed.plan.fingerprint(),
+            plan.fingerprint(),
+            "{}: round-trip lost plan content",
+            bench.name
+        );
+        assert!(diff_plans(&plan, &parsed.plan).is_empty());
+    }
+}
+
+#[test]
+fn diff_is_empty_exactly_on_identical_plans() {
+    let (p, g) = shape(3);
+    let plan = EncodingPlan::from_graph(&p, g.clone(), &plan_config()).unwrap();
+    let same = diff_plans(&plan, &plan);
+    assert_eq!(
+        same.is_empty(),
+        plan.fingerprint() == plan.fingerprint(),
+        "diff(p, p) must be empty iff the fingerprints agree"
+    );
+    assert!(same.is_empty());
+
+    let budgeted =
+        EncodingPlan::from_graph(&p, g, &plan_config().with_territory_budget(24)).unwrap();
+    let diff = diff_plans(&plan, &budgeted);
+    assert_ne!(plan.fingerprint(), budgeted.fingerprint());
+    assert!(!diff.is_empty());
+    assert!(
+        diff.codes().contains("DP050"),
+        "a budget promotion is a config divergence: {:?}",
+        diff.codes()
+    );
+    assert!(
+        diff.codes().contains("DP052"),
+        "a budget pre-places anchors: {:?}",
+        diff.codes()
+    );
+}
+
+#[test]
+fn delta_audit_is_byte_identical_to_full_audit_across_shapes_and_mutations() {
+    let opts = AuditOptions::default();
+    let mut certified_total = 0usize;
+    for i in 0..SHAPES {
+        let (p, g) = shape(i);
+        let config = plan_config();
+        let old_plan = EncodingPlan::from_graph(&p, g.clone(), &config).unwrap();
+        let baseline = audit_plan_full(&p, &old_plan, &opts, &NullTelemetry)
+            .baseline
+            .expect("baseline requested");
+
+        // Mutation 1: territory-budget promotion. The config line changes,
+        // so the delta takes its full-audit fallback — still exact.
+        let budgeted =
+            EncodingPlan::from_graph(&p, g.clone(), &config.clone().with_territory_budget(24))
+                .unwrap();
+        let (dj, certified, _) = delta_json(&p, &budgeted, &old_plan, &baseline, &opts);
+        assert_eq!(dj, full_json(&p, &budgeted), "shape {i}: budget mutation");
+        assert_eq!(certified, 0, "shape {i}: config change certifies nothing");
+
+        // Mutation 2: one added call edge (graph + skeleton rebuilt).
+        let (p2, g2) = with_added_edge(&g, &format!("shape-{i}"));
+        let edged = EncodingPlan::from_graph(&p2, g2, &config).unwrap();
+        let (dj, certified, reaudited) = delta_json(&p2, &edged, &old_plan, &baseline, &opts);
+        assert_eq!(dj, full_json(&p2, &edged), "shape {i}: edge-add mutation");
+        assert_eq!(
+            certified + reaudited,
+            {
+                let mut a = edged.encoding().anchors.clone();
+                a.sort_unstable();
+                a.dedup();
+                a.len()
+            },
+            "shape {i}: every anchor is either certified or re-audited"
+        );
+        certified_total += certified;
+
+        // Mutation 3: territory split — promote a mid-graph method to an
+        // anchor. Same config line, so this exercises the incremental path
+        // with an `is_anchor` delta.
+        let victim = g.method_of(g.nodes().nth(g.node_count() / 2).unwrap());
+        let split = EncodingPlan::from_graph(
+            &p,
+            g.clone(),
+            &config.clone().with_extra_anchor_method(victim),
+        )
+        .unwrap();
+        let (dj, certified, _) = delta_json(&p, &split, &old_plan, &baseline, &opts);
+        assert_eq!(dj, full_json(&p, &split), "shape {i}: split mutation");
+        certified_total += certified;
+    }
+    assert!(
+        certified_total > 0,
+        "localized mutations must certify some anchors without re-auditing"
+    );
+}
+
+#[test]
+fn delta_audit_matches_full_audit_on_corrupt_plans() {
+    let opts = AuditOptions::default();
+    let (p, g) = shape(2);
+    let config = plan_config();
+    let old_plan = EncodingPlan::from_graph(&p, g.clone(), &config).unwrap();
+
+    // A corrupt *new* plan against a clean baseline: the cleared territory
+    // row is a dirty node, so its owners re-audit and the damage is found.
+    let mut corrupt_new = old_plan.clone();
+    let victim = (0..corrupt_new.graph().node_count())
+        .find(|&i| !corrupt_new.encoding().nanchors[i].is_empty())
+        .expect("some node has a territory");
+    corrupt_new.encoding_mut().nanchors[victim].clear();
+    let baseline = audit_plan_full(&p, &old_plan, &opts, &NullTelemetry)
+        .baseline
+        .unwrap();
+    let (dj, _, _) = delta_json(&p, &corrupt_new, &old_plan, &baseline, &opts);
+    let fj = full_json(&p, &corrupt_new);
+    assert_eq!(dj, fj, "corrupt new plan");
+    assert!(fj.contains("DP00"), "corruption must be reported: {fj}");
+
+    // A corrupt *baseline* plan: its recorded findings must survive into
+    // every delta, certified or not.
+    let corrupt_old = corrupt_new;
+    let corrupt_baseline = audit_plan_full(&p, &corrupt_old, &opts, &NullTelemetry)
+        .baseline
+        .unwrap();
+    let (p2, g2) = with_added_edge(&g, "shape-2");
+    let edged = EncodingPlan::from_graph(&p2, g2, &config).unwrap();
+    let (dj, _, _) = delta_json(&p2, &edged, &corrupt_old, &corrupt_baseline, &opts);
+    assert_eq!(dj, full_json(&p2, &edged), "corrupt baseline plan");
+}
+
+#[test]
+fn delta_audit_is_worker_count_independent_and_chains() {
+    let (p, g) = shape(7);
+    let config = plan_config();
+    let old_plan = EncodingPlan::from_graph(&p, g.clone(), &config).unwrap();
+    let baseline = audit_plan_full(&p, &old_plan, &AuditOptions::default(), &NullTelemetry)
+        .baseline
+        .unwrap();
+
+    let victim = g.method_of(g.nodes().nth(g.node_count() / 2).unwrap());
+    let split_config = config.clone().with_extra_anchor_method(victim);
+    let split = EncodingPlan::from_graph(&p, g.clone(), &split_config).unwrap();
+
+    let serial = audit_delta(
+        &p,
+        &split,
+        &old_plan,
+        &baseline,
+        &AuditOptions::default(),
+        &NullTelemetry,
+    );
+    for workers in [2usize, 4, 8] {
+        let par = audit_delta(
+            &p,
+            &split,
+            &old_plan,
+            &baseline,
+            &AuditOptions::default().with_workers(workers),
+            &NullTelemetry,
+        );
+        assert_eq!(
+            par.report.to_json("x"),
+            serial.report.to_json("x"),
+            "delta audit with {workers} workers must be byte-identical"
+        );
+    }
+
+    // Chain: the delta's own baseline certifies a further mutation.
+    let chained_baseline = serial.baseline.expect("delta baselines chain");
+    let victim2 = g.method_of(g.nodes().nth(g.node_count() / 3).unwrap());
+    let split2 =
+        EncodingPlan::from_graph(&p, g, &split_config.with_extra_anchor_method(victim2)).unwrap();
+    let (dj, _, _) = delta_json(
+        &p,
+        &split2,
+        &split,
+        &chained_baseline,
+        &AuditOptions::default(),
+    );
+    assert_eq!(dj, full_json(&p, &split2), "chained incremental audit");
+}
+
+#[test]
+fn assume_clean_baseline_matches_a_captured_one() {
+    // A plan that linted clean yields the same delta results whether the
+    // baseline was captured from the audit or reconstructed from the plan
+    // file alone (the CLI `--baseline` path).
+    let (p, g) = shape(4);
+    let config = plan_config();
+    let old_plan = EncodingPlan::from_graph(&p, g.clone(), &config).unwrap();
+    let full = audit_plan_full(&p, &old_plan, &AuditOptions::default(), &NullTelemetry);
+    assert!(
+        full.report.is_clean(),
+        "shape 4 plans clean: {:?}",
+        full.report.diagnostics
+    );
+    let captured = full.baseline.unwrap();
+    let assumed = AuditBaseline::assume_clean(&old_plan);
+    assert_eq!(
+        captured.table_digests(),
+        assumed.table_digests(),
+        "assume_clean re-derives the captured table digests"
+    );
+
+    let (p2, g2) = with_added_edge(&g, "shape-4");
+    let edged = EncodingPlan::from_graph(&p2, g2, &config).unwrap();
+    let opts = AuditOptions::default();
+    let (from_captured, c1, r1) = delta_json(&p2, &edged, &old_plan, &captured, &opts);
+    let (from_assumed, c2, r2) = delta_json(&p2, &edged, &old_plan, &assumed, &opts);
+    assert_eq!(from_captured, from_assumed);
+    assert_eq!((c1, r1), (c2, r2));
+}
