@@ -41,9 +41,12 @@ if [ "${1:-}" != "fast" ]; then
 fi
 
 # Encoder hot-path smoke: replay identical hook streams through the
-# map-based and the compiled (table-driven) encoders; the run fails if
-# the compiled encoder is slower, and double-checks capture-for-capture
-# equality on the way (full numbers: `encoder_hotpath --out results`).
+# map-based, the compiled (table-driven) and the batched (branchless
+# kernel) encoders; the run fails if the compiled encoder is slower than
+# map-based or the batched encoder slower than compiled, and fails hard
+# on any batch-vs-scalar divergence — captures, op counts and UCP
+# detections are pinned equal before any throughput number is believed
+# (full numbers: `encoder_hotpath --out results`).
 # The criterion benches must at least still compile (they only *run*
 # with the non-default `bench` feature restored from a networked
 # checkout, hence --no-run stays feature-less here).

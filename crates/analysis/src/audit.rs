@@ -1469,6 +1469,23 @@ pub(crate) fn compiled_global_unit(
              table-driven encoder would push a spurious recursion frame"
         )));
     }
+    // The two-level lookup table is a second, independent projection of
+    // the same pair set (the batch kernel probes it, never the pair
+    // list), so validate it against the plan directly: a stale or
+    // corrupted table is caught even when the pair list is intact.
+    let table: BTreeSet<_> = compiled.back_edge_table_pairs().collect();
+    for &(site, method) in want.difference(&table) {
+        diags.push(divergence(format!(
+            "back-edge call ({site}, {method}) is missing from the lookup table: the \
+             batch kernel would miss the recursion push"
+        )));
+    }
+    for &(site, method) in table.difference(&want) {
+        diags.push(divergence(format!(
+            "back-edge call ({site}, {method}) appears in the lookup table only: the \
+             batch kernel would push a spurious recursion frame"
+        )));
+    }
     diags
 }
 

@@ -98,6 +98,7 @@ fn main() -> ExitCode {
             normalized_speed: rate,
             unique_contexts: extra.0,
             max_depth: extra.1,
+            calls_per_sec_per_core: 0.0,
         });
         eprintln!("{phase:<12} {:>8.3}s  {rate:>12.0} nodes/s", secs);
     };

@@ -1,5 +1,6 @@
-//! Encoder hot-path throughput: the table-driven [`CompiledDeltaEncoder`]
-//! vs the map-based [`DeltaEncoder`], hook for hook.
+//! Encoder hot-path throughput: the map-based [`DeltaEncoder`], the
+//! table-driven [`CompiledDeltaEncoder`], and the batched kernel
+//! ([`CompiledPlan::apply_batch`]) hook for hook.
 //!
 //! ```text
 //! encoder_hotpath [--out DIR] [--repeat N] [--smoke]
@@ -9,42 +10,53 @@
 //! the exact instrumentation hook stream (call / return / entry / exit /
 //! observe, with call-site and method operands). The stream is then
 //! replayed — LIFO token stacks standing in for the interpreter's native
-//! stack — into both encoders, first once for *verification* (captures,
+//! stack — into every encoder, first once for *verification* (captures,
 //! abstract op counts and UCP detections must be identical) and then in
-//! timed best-of-N passes. This isolates pure hook dispatch cost: the
-//! interpreter, the collector and event materialization are all off the
-//! clock. The harvest/replay/measure machinery is shared with the
+//! timed best-of-N passes. For the batched rows the stream is additionally
+//! lowered once into a flat [`HookBuffer`] of packed hook words (the
+//! analog of class-load-time injection) and consumed by the branchless
+//! batch kernel in chunks of 64 / 256 / 1024 words, whole-stream, and as
+//! a 4-lane interleaved fan-out. This isolates pure hook dispatch cost:
+//! the interpreter, the collector and event materialization are all off
+//! the clock. The harvest/replay/measure machinery is shared with the
 //! `telemetry_overhead` binary via [`deltapath_bench::hooks`].
 //!
-//! One `deltapath.perf.v1` record per (workload, encoder) lands in
+//! One `deltapath.perf.v1` record per (workload, encoder row) lands in
 //! `BENCH_encoder_hotpath.json`:
 //!
 //! * `calls` — hooks replayed per timed pass, `base_cost` — elapsed
 //!   nanoseconds of the best pass;
 //! * `normalized_speed` — hook throughput relative to the map-based
-//!   encoder on the same workload (map-based rows are 1.0; captures per
-//!   second scale by the same ratio, since both encoders replay the
-//!   identical stream);
+//!   encoder on the same workload (map-based rows are 1.0);
+//! * `calls_per_sec_per_core` — absolute hook throughput on one core
+//!   (the `batched-x4` row aggregates its four simulated client lanes,
+//!   which all run on the one measured core);
 //! * `unique_contexts` / `max_depth` — from the verification replay.
 //!
 //! `--smoke` is the CI gate: tiny repeat counts, and the run fails unless
 //! the compiled encoder is at least as fast as the map-based one (with a
-//! small slack for timer noise).
+//! small slack for timer noise) — and fails *hard* on any batch-vs-scalar
+//! divergence, which is checked before any throughput number is believed.
 
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use deltapath_bench::hooks::{harvest, max_entry_depth, measure, replay};
+use deltapath_bench::hooks::{
+    harvest, max_entry_depth, measure, measure_batched, measure_batched_fanout, replay,
+    replay_batched, HookBuffer,
+};
 use deltapath_bench::perf::{PerfRecord, PerfSuite};
 use deltapath_callgraph::ScopeFilter;
-use deltapath_core::{EncodingPlan, PlanConfig};
+use deltapath_core::{BatchState, EncodingPlan, PlanConfig};
 use deltapath_ir::Program;
-use deltapath_runtime::{Capture, CompiledDeltaEncoder, ContextEncoder, DeltaEncoder, OpCounts};
+use deltapath_runtime::{
+    BatchedDeltaEncoder, Capture, CompiledDeltaEncoder, ContextEncoder, DeltaEncoder, OpCounts,
+};
 use deltapath_workloads::specjvm;
 use deltapath_workloads::synthetic::{generate, SyntheticConfig};
 
-/// What one verification replay saw; both encoders must agree on all of it.
+/// What one verification replay saw; all encoders must agree on all of it.
 #[derive(PartialEq)]
 struct Verified {
     captures: Vec<Capture>,
@@ -130,22 +142,31 @@ fn main() -> ExitCode {
     /// Replayed stream length cap: enough for steady-state measurement,
     /// small enough that harvesting and verification stay quick.
     const STREAM_CAP: usize = 400_000;
+    /// Client-side buffer capacities swept by the batched rows.
+    const BATCH_SWEEP: &[usize] = &[64, 256, 1024];
+    /// Simulated client lanes of the interleaved fan-out row.
+    const FANOUT_LANES: usize = 4;
 
     let mut perf = PerfSuite::new("encoder_hotpath");
     let mut worst_specjvm = f64::INFINITY;
     let mut worst_overall = f64::INFINITY;
+    let mut worst_batched = f64::INFINITY;
+    let mut worst_batched_specjvm = f64::INFINITY;
+    let mut best_batched_specjvm: Vec<(String, f64)> = Vec::new();
     for w in workloads(smoke) {
         let plan_config = PlanConfig::default().with_scope(w.scope);
         let plan = EncodingPlan::analyze(&w.program, &plan_config).expect("plan");
         let compiled = plan.compile();
         let entry = w.program.entry();
 
-        // Harvest the hook stream once (the VM is deterministic).
+        // Harvest the hook stream once (the VM is deterministic), and
+        // lower it once into the batch engine's packed-word buffer.
         let mut hooks = harvest(&w.program).expect("harvest run");
         let harvested = hooks.len();
         hooks.truncate(STREAM_CAP);
+        let buffer = HookBuffer::lower(entry, &hooks);
 
-        // Verify: both encoders must agree capture for capture before any
+        // Verify: every encoder must agree capture for capture before any
         // throughput number is believed.
         let verify = |captures: Vec<Capture>, counts: OpCounts, ucp: u64| Verified {
             captures,
@@ -165,6 +186,44 @@ fn main() -> ExitCode {
             "{}: compiled and map-based encoders diverged",
             w.name
         );
+        // Batched, three ways: the raw kernel over the lowered buffer in
+        // deliberately awkward chunks, and the buffering encoder driven
+        // hook-at-a-time through the same replay harness as the scalar
+        // encoders. All must match the scalar results exactly.
+        for chunk in [1usize, 97, 0] {
+            let mut state = BatchState::start(entry);
+            let mut ctxs = Vec::new();
+            replay_batched(&compiled, &buffer, chunk, &mut state, &mut ctxs);
+            let c = state.counts();
+            let kernel_seen = verify(
+                ctxs.into_iter().map(Capture::Delta).collect(),
+                OpCounts {
+                    adds: c.adds,
+                    subs: c.subs,
+                    pending_saves: c.pending_saves,
+                    sid_checks: c.sid_checks,
+                    pushes: c.pushes,
+                    pops: c.pops,
+                    ..OpCounts::default()
+                },
+                c.ucp_detections,
+            );
+            assert!(
+                kernel_seen == tab_seen,
+                "{}: batch kernel (chunk {chunk}) diverged from the scalar compiled encoder",
+                w.name
+            );
+        }
+        let mut bat_enc = BatchedDeltaEncoder::new(&compiled);
+        let mut bat_caps = Vec::new();
+        replay(entry, &hooks, &mut bat_enc, &mut bat_caps);
+        bat_enc.flush();
+        let bat_seen = verify(bat_caps, bat_enc.counts(), bat_enc.ucp_detections());
+        assert!(
+            bat_seen == tab_seen,
+            "{}: batched encoder diverged from the scalar compiled encoder",
+            w.name
+        );
         let unique: HashSet<&Capture> = map_seen.captures.iter().collect();
         let max_depth = max_entry_depth(&hooks);
 
@@ -177,34 +236,66 @@ fn main() -> ExitCode {
             worst_specjvm = worst_specjvm.min(ratio);
         }
         worst_overall = worst_overall.min(ratio);
+
+        let replayed = (hooks.len() * repeat) as u64;
+        let mut rows: Vec<(String, f64, u64, u64)> = vec![
+            (
+                map_enc.name().to_owned(),
+                map_rate,
+                (replayed as f64 / map_rate * 1e9) as u64,
+                replayed,
+            ),
+            (tab_enc.name().to_owned(), tab_rate, tab_ns, replayed),
+        ];
+        let mut best_batched = 0f64;
+        for &chunk in BATCH_SWEEP {
+            let (rate, ns) = measure_batched(&compiled, &buffer, chunk, repeat, passes);
+            best_batched = best_batched.max(rate);
+            rows.push((format!("batched@{chunk}"), rate, ns, replayed));
+        }
+        let (full_rate, full_ns) = measure_batched(&compiled, &buffer, 0, repeat, passes);
+        best_batched = best_batched.max(full_rate);
+        rows.push(("batched".to_owned(), full_rate, full_ns, replayed));
+        let (fan_rate, fan_ns) =
+            measure_batched_fanout(&compiled, &buffer, FANOUT_LANES, 0, repeat, passes);
+        rows.push((
+            format!("batched-x{FANOUT_LANES}"),
+            fan_rate,
+            fan_ns,
+            replayed * FANOUT_LANES as u64,
+        ));
+
+        // The per-core target counts every hook retired on the measured
+        // core, so the interleaved fan-out row (4 client lanes, 1 core)
+        // competes on equal terms with the single-stream rows.
+        best_batched = best_batched.max(fan_rate);
+        let batched_ratio = best_batched / tab_rate;
+        worst_batched = worst_batched.min(batched_ratio);
+        if w.specjvm {
+            worst_batched_specjvm = worst_batched_specjvm.min(batched_ratio);
+            best_batched_specjvm.push((w.name.clone(), batched_ratio));
+        }
         eprintln!(
-            "{:22} {harvested:>8} hooks ({} replayed): map {:>7.1} ns/hook, compiled {:>7.1} ns/hook ({ratio:.2}x)",
+            "{:22} {harvested:>8} hooks ({} replayed): map {:>6.1} ns/hook, compiled {:>6.1} ns/hook ({ratio:.2}x), batched {:>6.1} ns/hook ({batched_ratio:.2}x vs compiled), x{FANOUT_LANES} {:>6.1} ns/hook",
             w.name,
             hooks.len(),
             1e9 / map_rate,
             1e9 / tab_rate,
+            1e9 / best_batched,
+            1e9 / fan_rate,
         );
 
-        let replayed = (hooks.len() * repeat) as u64;
-        for (encoder, rate, speed, best_ns) in [
-            (
-                map_enc.name(),
-                map_rate,
-                1.0,
-                (replayed as f64 / map_rate * 1e9) as u64,
-            ),
-            (tab_enc.name(), tab_rate, ratio, tab_ns),
-        ] {
-            let _ = rate;
+        for (encoder, rate, best_ns, calls) in rows {
             perf.records.push(PerfRecord {
                 benchmark: w.name.clone(),
-                encoder: encoder.to_owned(),
-                calls: replayed,
+                encoder,
+                calls,
                 base_cost: best_ns,
                 overhead: 0,
-                normalized_speed: speed,
+                normalized_speed: rate / map_rate,
                 unique_contexts: unique.len() as u64,
                 max_depth: max_depth as u64,
+                calls_per_sec_per_core: rate,
             });
         }
     }
@@ -215,10 +306,31 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if smoke && worst_batched < 0.95 {
+        eprintln!(
+            "error: batched encoder slower than scalar compiled ({worst_batched:.2}x < 0.95x) in smoke mode"
+        );
+        return ExitCode::FAILURE;
+    }
     if !smoke && worst_specjvm.is_finite() && worst_specjvm < 1.5 {
         eprintln!(
             "warning: worst SPECjvm-like compiled/map ratio was {worst_specjvm:.2}x (< 1.5x target)"
         );
+    }
+    if !smoke && best_batched_specjvm.len() > 1 {
+        // ROADMAP item 5 / ISSUE 9 target: ≥1.5x hooks/sec for the batched
+        // kernel vs the scalar compiled encoder on at least half the
+        // SPECjvm-like suite.
+        let hit = best_batched_specjvm
+            .iter()
+            .filter(|(_, r)| *r >= 1.5)
+            .count();
+        if hit * 2 < best_batched_specjvm.len() {
+            eprintln!(
+                "warning: batched/compiled hit 1.5x on only {hit}/{} SPECjvm-like workloads",
+                best_batched_specjvm.len()
+            );
+        }
     }
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

@@ -219,6 +219,7 @@ fn main() -> ExitCode {
                 normalized_speed: speed,
                 unique_contexts: stats.unique_contexts() as u64,
                 max_depth: stats.max_depth as u64,
+                calls_per_sec_per_core: rate / t as f64,
             });
         }
     }

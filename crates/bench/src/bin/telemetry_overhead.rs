@@ -166,6 +166,7 @@ fn main() -> ExitCode {
                 normalized_speed: speed,
                 unique_contexts: u64::from(period),
                 max_depth: max_depth as u64,
+                calls_per_sec_per_core: replayed as f64 * 1e9 / best_ns as f64,
             });
         }
     }

@@ -38,6 +38,11 @@ pub struct PerfRecord {
     pub unique_contexts: u64,
     /// Deepest true context observed.
     pub max_depth: u64,
+    /// Measured call-event throughput per CPU core (calls/sec; `0.0` when
+    /// the benchmark did not take a wall-clock rate). The batched-encoder
+    /// trajectory in `BENCH_encoder_hotpath.json` is tracked in this
+    /// field (ROADMAP item 5).
+    pub calls_per_sec_per_core: f64,
 }
 
 impl PerfRecord {
@@ -52,6 +57,7 @@ impl PerfRecord {
             normalized_speed: run.normalized_speed(),
             unique_contexts: run.stats.unique_contexts() as u64,
             max_depth: run.stats.max_depth as u64,
+            calls_per_sec_per_core: 0.0,
         }
     }
 
@@ -71,6 +77,10 @@ impl PerfRecord {
                 Json::from_u64(self.unique_contexts),
             ),
             ("max_depth".into(), Json::from_u64(self.max_depth)),
+            (
+                "calls_per_sec_per_core".into(),
+                Json::Float(self.calls_per_sec_per_core),
+            ),
         ])
     }
 
@@ -91,6 +101,15 @@ impl PerfRecord {
             Some(Json::Int(i)) => *i as f64,
             _ => return Err(PerfError::field("normalized_speed")),
         };
+        // Added after v1 files already existed: absent means "not measured"
+        // (fields are added, never renamed — older files must stay
+        // readable).
+        let per_core = match v.get("calls_per_sec_per_core") {
+            Some(Json::Float(f)) => *f,
+            Some(Json::Int(i)) => *i as f64,
+            None => 0.0,
+            _ => return Err(PerfError::field("calls_per_sec_per_core")),
+        };
         Ok(Self {
             benchmark: str_field("benchmark")?,
             encoder: str_field("encoder")?,
@@ -100,6 +119,7 @@ impl PerfRecord {
             normalized_speed: speed,
             unique_contexts: u64_field("unique_contexts")?,
             max_depth: u64_field("max_depth")?,
+            calls_per_sec_per_core: per_core,
         })
     }
 }
@@ -257,6 +277,16 @@ mod tests {
             PerfSuite::from_json(&text),
             Err(PerfError::Schema(_))
         ));
+    }
+
+    #[test]
+    fn per_core_rate_defaults_when_absent() {
+        // Files written before the field existed must stay readable.
+        let text = r#"{"schema":"deltapath.perf.v1","suite":"old","records":[
+            {"benchmark":"b","encoder":"e","calls":1,"base_cost":2,"overhead":3,
+             "normalized_speed":1.5,"unique_contexts":4,"max_depth":5}]}"#;
+        let suite = PerfSuite::from_json(text).expect("pre-field file parses");
+        assert_eq!(suite.records[0].calls_per_sec_per_core, 0.0);
     }
 
     #[test]

@@ -26,7 +26,9 @@
 //!   `deltapath-runtime`);
 //! * [`CompiledPlan`] — the plan lowered into dense dispatch tables for
 //!   the table-driven encoder hot path (one array load per hook, zero
-//!   hashing);
+//!   hashing), including the batched hook kernel ([`HookWord`],
+//!   [`BatchState`], [`CompiledPlan::apply_batch`]) that applies packed
+//!   hook words with branchless mask arithmetic;
 //! * [`DeltaState`] — the per-thread runtime state machine (ID, stack,
 //!   pending expectation) that the instrumentation hooks drive;
 //! * [`Decoder`] — precise decoding of encoded contexts, piece by piece;
@@ -88,7 +90,7 @@ pub use decode::{DecodeOptions, Decoder};
 pub use error::{DecodeError, EncodeError};
 pub use pcce::PcceEncoding;
 pub use plan::{EncodingPlan, EntryInstr, PlanConfig, SiteInstr, TableDigests};
-pub use plan_compiled::{CompiledPlan, EntryWord, SiteWord};
+pub use plan_compiled::{BatchCounts, BatchState, CompiledPlan, EntryWord, HookWord, SiteWord};
 pub use plan_io::{
     parse_plan, render_plan, render_plan_string, ImportedPlan, PlanParseError, PLAN_SCHEMA,
 };

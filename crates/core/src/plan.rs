@@ -605,6 +605,15 @@ impl EncodingPlan {
         self.entries.get_mut(&method)
     }
 
+    /// Mutable access to the recursion back-edge pair set (see
+    /// [`encoding_mut`](EncodingPlan::encoding_mut) for the intended use —
+    /// fault injection against the compiled image's back-edge lookup
+    /// table).
+    pub fn back_edge_calls_mut(&mut self) -> &mut HashSet<(SiteId, MethodId)> {
+        self.digests.0.take();
+        &mut self.back_edge_calls
+    }
+
     /// The plan's [`TableDigests`], computed on first use and cached.
     /// Freshly analysed plans ([`EncodingPlan::from_graph_with`]) seal the
     /// digests at construction time, so this is free at audit time; parsed

@@ -32,6 +32,7 @@
 
 use deltapath_ir::{MethodId, SiteId};
 
+use crate::context::{EncodedContext, Frame, FrameTag};
 use crate::plan::{render_instructions, EncodingPlan, EntryInstr, SiteInstr};
 use crate::sid::Sid;
 use crate::state::{ResolvedEntry, ResolvedSite};
@@ -193,8 +194,17 @@ pub struct CompiledPlan {
     site_callers: Vec<u32>,
     /// Entry action words, indexed by [`MethodId::index`].
     entries: Vec<EntryWord>,
-    /// Recursion back-edge `(site, callee)` pairs, sorted for binary search.
+    /// Recursion back-edge `(site, callee)` pairs, sorted (cold — audit and
+    /// iteration read it; runtime lookups go through the two-level table).
     back_edge_calls: Vec<(u32, u32)>,
+    /// First level of the back-edge lookup table: per-site offsets into
+    /// [`Self::back_edge_callees`], indexed by [`SiteId::index`] and sized
+    /// to the highest back-edge site only (sites past the end have no back
+    /// edges). `off[s]..off[s+1]` is site `s`'s callee slice.
+    back_edge_off: Vec<u32>,
+    /// Second level: the back-edge callee methods, grouped by site and
+    /// sorted within each group.
+    back_edge_callees: Vec<u32>,
 }
 
 impl CompiledPlan {
@@ -256,6 +266,7 @@ impl CompiledPlan {
                 w.word |= SITE_MAY_BACK_EDGE;
             }
         }
+        let (back_edge_off, back_edge_callees) = Self::build_back_edge_table(&back_edge_calls);
 
         Self {
             cpt,
@@ -264,7 +275,27 @@ impl CompiledPlan {
             site_callers,
             entries,
             back_edge_calls,
+            back_edge_off,
+            back_edge_callees,
         }
+    }
+
+    /// Builds the two-level back-edge lookup table from the sorted pair
+    /// list: a per-site offset array (sized to the highest back-edge site)
+    /// over a flat callee array. Replacing the binary search with two array
+    /// loads plus a scan of a tiny, usually one-element slice makes the
+    /// cold lookup O(1) and branch-predictable.
+    fn build_back_edge_table(sorted_pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+        let slots = sorted_pairs.last().map_or(0, |&(s, _)| s as usize + 1);
+        let mut off = vec![0u32; slots + 1];
+        for &(site, _) in sorted_pairs {
+            off[site as usize + 1] += 1;
+        }
+        for i in 1..off.len() {
+            off[i] += off[i - 1];
+        }
+        let callees = sorted_pairs.iter().map(|&(_, m)| m).collect();
+        (off, callees)
     }
 
     /// Whether the plan was compiled with call-path tracking on.
@@ -298,13 +329,34 @@ impl CompiledPlan {
     }
 
     /// Whether dispatching `site` to `callee` takes a recursion back edge.
-    /// Guard with [`SiteWord::may_take_back_edge`] to skip the search for
+    /// Guard with [`SiteWord::may_take_back_edge`] to skip the lookup for
     /// the overwhelmingly common non-recursive site.
+    ///
+    /// Two array loads bound the site's callee slice in the two-level
+    /// table; the slice is scanned with a branchless OR-fold (it holds the
+    /// recursive targets of *one* site — almost always a single element).
     #[inline]
     pub fn is_back_edge_call(&self, site: SiteId, callee: MethodId) -> bool {
-        self.back_edge_calls
-            .binary_search(&(site.as_u32(), callee.as_u32()))
-            .is_ok()
+        self.back_edge_probe(site.index(), callee.as_u32()) != 0
+    }
+
+    /// The back-edge lookup as mask arithmetic: 1 when `(site, callee)` is
+    /// a recursion back edge, 0 otherwise.
+    #[inline(always)]
+    fn back_edge_probe(&self, site: usize, callee: u32) -> u64 {
+        // Sites past the offset array have no back edges; a site with the
+        // MAY_BACK_EDGE bit set is always in range, so the hot (guarded)
+        // path takes this branch predictably.
+        if site + 1 >= self.back_edge_off.len() {
+            return 0;
+        }
+        let lo = self.back_edge_off[site] as usize;
+        let hi = self.back_edge_off[site + 1] as usize;
+        let mut hit = 0u64;
+        for &c in &self.back_edge_callees[lo..hi] {
+            hit |= u64::from(c == callee);
+        }
+        hit
     }
 
     /// Re-expands the action word of `site` into the plan's instruction
@@ -368,6 +420,33 @@ impl CompiledPlan {
         })
     }
 
+    /// The back-edge pairs as the two-level *lookup table* stores them,
+    /// sorted. Must equal [`Self::back_edge_call_pairs`] — the `DP040`
+    /// audit cross-checks both projections against the plan, so a stale or
+    /// corrupted lookup table is caught independently of the pair list.
+    pub fn back_edge_table_pairs(&self) -> impl Iterator<Item = (SiteId, MethodId)> + '_ {
+        (0..self.back_edge_off.len().saturating_sub(1)).flat_map(move |site| {
+            let lo = self.back_edge_off[site] as usize;
+            let hi = self.back_edge_off[site + 1] as usize;
+            self.back_edge_callees[lo..hi]
+                .iter()
+                .map(move |&m| (SiteId::from_index(site), MethodId::from_index(m as usize)))
+        })
+    }
+
+    /// Number of recursion back-edge pairs in the lookup table.
+    pub fn back_edge_pair_count(&self) -> usize {
+        self.back_edge_callees.len()
+    }
+
+    /// Number of sites with at least one back-edge callee (non-empty
+    /// buckets in the lookup table's first level).
+    pub fn back_edge_site_count(&self) -> usize {
+        (0..self.back_edge_off.len().saturating_sub(1))
+            .filter(|&s| self.back_edge_off[s] != self.back_edge_off[s + 1])
+            .count()
+    }
+
     /// Number of present site words.
     pub fn site_count(&self) -> usize {
         self.sites.iter().filter(|w| w.present()).count()
@@ -384,6 +463,8 @@ impl CompiledPlan {
         self.sites.len() * std::mem::size_of::<SiteWord>()
             + self.entries.len() * std::mem::size_of::<EntryWord>()
             + self.back_edge_calls.len() * std::mem::size_of::<(u32, u32)>()
+            + self.back_edge_off.len() * std::mem::size_of::<u32>()
+            + self.back_edge_callees.len() * std::mem::size_of::<u32>()
     }
 
     /// Renders the tables back into the exact byte format of
@@ -401,6 +482,481 @@ impl CompiledPlan {
             }),
             self.back_edge_call_pairs(),
         )
+    }
+}
+
+// ---- Batched, branchless hook encoding ----
+//
+// The scalar encoder pays per-hook dispatch (an enum match, a virtual-ish
+// hook call, token traffic through the caller's stack) around the two
+// arithmetic ops the paper says a call event costs. The batch engine
+// removes that scaffolding: hooks are pre-lowered into one packed u64
+// *hook word* each, and `apply_batch` walks a slice of them in a tight
+// loop, applying the fused `SiteWord`/`EntryWord` action words with mask
+// arithmetic — the CPT/check/track decisions are bit-selects, not
+// branches. Only the genuinely rare events (a frame push at an entry, a
+// pop at an exit, an observe) leave the straight-line path.
+
+/// Hook tag of a call-site dispatch (`on_call`).
+const HOOK_CALL: u64 = 0;
+/// Hook tag of the matching return (`on_return`).
+const HOOK_RETURN: u64 = 1;
+/// Hook tag of a method entry (`on_entry`).
+const HOOK_ENTRY: u64 = 2;
+/// Hook tag of a method exit (`on_exit`).
+const HOOK_EXIT: u64 = 3;
+/// Hook tag of an observation point (`observe`).
+const HOOK_OBSERVE: u64 = 4;
+
+/// One pre-resolved instrumentation hook, packed into a single u64:
+///
+/// ```text
+/// bits 60..64  tag      (call / return / entry / exit / observe)
+/// bits 32..60  via+1    (entry only: dispatching site index + 1, 0 = none)
+/// bits  0..32  operand  (site index for calls, method index otherwise)
+/// ```
+///
+/// This is the wire format of the batch engine: harvested hook streams
+/// lower into a flat buffer of these words once, and
+/// [`CompiledPlan::apply_batch`] consumes slices of them with no per-hook
+/// decoding beyond three shifts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HookWord(u64);
+
+impl HookWord {
+    const TAG_SHIFT: u32 = 60;
+    const VIA_SHIFT: u32 = 32;
+    const VIA_BITS: u32 = 28;
+    const VIA_MASK: u64 = (1 << Self::VIA_BITS) - 1;
+    const OPERAND_MASK: u64 = 0xFFFF_FFFF;
+
+    /// The word of an `on_call` hook at `site`.
+    #[inline]
+    pub fn call(site: SiteId) -> Self {
+        Self(HOOK_CALL << Self::TAG_SHIFT | site.index() as u64)
+    }
+
+    /// The word of the `on_return` hook matching the innermost open call.
+    #[inline]
+    pub fn ret() -> Self {
+        Self(HOOK_RETURN << Self::TAG_SHIFT)
+    }
+
+    /// The word of an `on_entry` hook of `method`, dispatched via `via`
+    /// (`None` when control arrived from uninstrumented code).
+    #[inline]
+    pub fn entry(method: MethodId, via: Option<SiteId>) -> Self {
+        let via_plus_1 = via.map_or(0, |s| s.index() as u64 + 1);
+        debug_assert!(
+            via_plus_1 <= Self::VIA_MASK,
+            "site index exceeds the hook word's 28-bit via field"
+        );
+        Self(HOOK_ENTRY << Self::TAG_SHIFT | via_plus_1 << Self::VIA_SHIFT | method.index() as u64)
+    }
+
+    /// The word of an `on_exit` hook of `method`.
+    #[inline]
+    pub fn exit(method: MethodId) -> Self {
+        Self(HOOK_EXIT << Self::TAG_SHIFT | method.index() as u64)
+    }
+
+    /// The word of an `observe` event at `method`.
+    #[inline]
+    pub fn observe(method: MethodId) -> Self {
+        Self(HOOK_OBSERVE << Self::TAG_SHIFT | method.index() as u64)
+    }
+
+    /// The raw packed word.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Raw operation tallies of a [`BatchState`] — the batch engine's flat
+/// counter block, incremented by mask arithmetic (never by a branch) on
+/// the straight-line path. `deltapath-runtime` maps the shared subset into
+/// its `OpCounts`; the extras (`backedge_probes`, `stack_hwm`) feed the
+/// `encoder.backedge.*` / `encoder.batched.*` telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounts {
+    /// `ID += av` operations.
+    pub adds: u64,
+    /// `ID -= av` operations.
+    pub subs: u64,
+    /// Pending-expectation saves around calls.
+    pub pending_saves: u64,
+    /// SID comparisons at entries.
+    pub sid_checks: u64,
+    /// Encoding-stack pushes.
+    pub pushes: u64,
+    /// Encoding-stack pops.
+    pub pops: u64,
+    /// Hazardous unexpected call paths detected.
+    pub ucp_detections: u64,
+    /// Back-edge lookup-table probes taken.
+    pub backedge_probes: u64,
+    /// Deepest the encoding stack has grown (lifetime high-water mark,
+    /// not reset by [`BatchState::restart`]).
+    pub stack_hwm: u64,
+}
+
+/// One open call's caller-saved record: what the matching return must
+/// subtract and restore. Pushed unconditionally per call word — masked
+/// stores replace the `Option` dance of the scalar
+/// [`CallToken`](crate::CallToken), keeping the call/return pair
+/// branch-free.
+#[derive(Clone, Copy, Debug, Default)]
+struct BatchCallRec {
+    /// The amount added (zero for non-encoded sites).
+    add: u64,
+    /// bit 0 = encoded, bit 1 = restore pending, bit 2 = saved pending
+    /// validity.
+    flags: u64,
+    /// Saved pending site (high 32) and expected SID (low 32).
+    saved_pair: u64,
+    /// Saved pending ID-at-call.
+    saved_id: u64,
+}
+
+/// Per-thread encoding state of the batch engine: the mirror of
+/// [`DeltaState`](crate::DeltaState) with the pending expectation held as
+/// mask-selectable raw words and the caller-saved tokens on internal LIFO
+/// stacks (the batch engine has no native caller frame to keep them in).
+///
+/// Equality with the scalar state machine — captures, counts, UCP
+/// detections, for every chunking of the word stream — is pinned by the
+/// `batched_encoder` differential suite.
+#[derive(Clone, Debug)]
+pub struct BatchState {
+    /// The current encoding ID.
+    id: u64,
+    /// The encoding stack, bootstrap frame included.
+    frames: Vec<Frame>,
+    /// Pending-expectation validity: 0 or 1.
+    pend_valid: u64,
+    /// Pending site index (meaningful only when `pend_valid == 1`).
+    pend_site: u64,
+    /// Pending expected SID.
+    pend_expected: u64,
+    /// Pending ID-at-call.
+    pend_id: u64,
+    /// Caller-saved records of open calls, innermost last.
+    calls: Vec<BatchCallRec>,
+    /// Entry outcomes of open entries (1 = pushed a frame), innermost last.
+    outcomes: Vec<u8>,
+    /// Operation tallies, cumulative across [`BatchState::restart`].
+    counts: BatchCounts,
+}
+
+impl BatchState {
+    /// The state of a thread entering the program at `entry`: the stack
+    /// holds the bootstrap anchor frame and the ID is zero.
+    pub fn start(entry: MethodId) -> Self {
+        Self {
+            id: 0,
+            frames: vec![Frame {
+                tag: FrameTag::Anchor,
+                node: entry,
+                site: None,
+                saved_id: 0,
+            }],
+            pend_valid: 0,
+            pend_site: 0,
+            pend_expected: 0,
+            pend_id: 0,
+            calls: Vec::with_capacity(256),
+            outcomes: Vec::with_capacity(256),
+            counts: BatchCounts::default(),
+        }
+    }
+
+    /// Resets the encoding state for a new thread/replay at `entry`,
+    /// keeping the cumulative counts — the batch analog of the scalar
+    /// encoder's `thread_start`.
+    pub fn restart(&mut self, entry: MethodId) {
+        self.id = 0;
+        self.frames.clear();
+        self.frames.push(Frame {
+            tag: FrameTag::Anchor,
+            node: entry,
+            site: None,
+            saved_id: 0,
+        });
+        self.pend_valid = 0;
+        self.pend_site = 0;
+        self.pend_expected = 0;
+        self.pend_id = 0;
+        self.calls.clear();
+        self.outcomes.clear();
+    }
+
+    /// The current encoding ID.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The current encoding-stack depth (bootstrap frame included).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The operation tallies so far.
+    pub fn counts(&self) -> &BatchCounts {
+        &self.counts
+    }
+
+    /// Captures the current calling context as an encoded value.
+    pub fn snapshot(&self, at: MethodId) -> EncodedContext {
+        EncodedContext {
+            frames: self.frames.clone(),
+            id: self.id,
+            at,
+        }
+    }
+}
+
+/// `(a & mask) | (b & !mask)` — the branchless select the kernel uses for
+/// every conditional state update (`mask` is all-ones or all-zeros).
+#[inline(always)]
+fn select(mask: u64, a: u64, b: u64) -> u64 {
+    (a & mask) | (b & !mask)
+}
+
+impl CompiledPlan {
+    /// Applies a slice of pre-lowered hook words to `state`, appending the
+    /// encoded context of every observe word to `out`.
+    ///
+    /// This is the batch engine's hot loop: one packed load per hook, the
+    /// site/entry action word applied with mask arithmetic, and state that
+    /// stays in registers across iterations. Splitting a stream into
+    /// arbitrary chunks and applying them in order is exact — the state
+    /// carries everything across the boundary (pinned by the chunking
+    /// property test).
+    pub fn apply_batch(
+        &self,
+        state: &mut BatchState,
+        words: &[HookWord],
+        out: &mut Vec<EncodedContext>,
+    ) {
+        for &w in words {
+            self.apply_word(state, w, out);
+        }
+    }
+
+    /// Advances K independent streams in lockstep: every lane applies the
+    /// same word before the loop moves to the next one, so the per-lane
+    /// updates (independent by construction) overlap in the pipeline —
+    /// the multi-client ingest shape, one simulated client per lane.
+    ///
+    /// Observe words snapshot lane 0 only (the lanes are replicas of the
+    /// same stream, so one capture per event is representative; final
+    /// states of all lanes are asserted equal by the differential suite).
+    pub fn apply_batch_fanout(
+        &self,
+        states: &mut [BatchState],
+        words: &[HookWord],
+        out: &mut Vec<EncodedContext>,
+    ) {
+        for &w in words {
+            let raw = w.0;
+            let tag = raw >> HookWord::TAG_SHIFT;
+            if tag == HOOK_OBSERVE {
+                if let Some(first) = states.first() {
+                    out.push(first.snapshot(MethodId::from_index(
+                        (raw & HookWord::OPERAND_MASK) as usize,
+                    )));
+                }
+                continue;
+            }
+            for state in states.iter_mut() {
+                self.apply_word_silent(state, raw);
+            }
+        }
+    }
+
+    /// Applies one hook word (the body of [`Self::apply_batch`]).
+    #[inline(always)]
+    fn apply_word(&self, state: &mut BatchState, w: HookWord, out: &mut Vec<EncodedContext>) {
+        let raw = w.0;
+        if raw >> HookWord::TAG_SHIFT == HOOK_OBSERVE {
+            out.push(state.snapshot(MethodId::from_index(
+                (raw & HookWord::OPERAND_MASK) as usize,
+            )));
+        } else {
+            self.apply_word_silent(state, raw);
+        }
+    }
+
+    /// Applies one non-observe hook word.
+    #[inline(always)]
+    fn apply_word_silent(&self, state: &mut BatchState, raw: u64) {
+        let tag = raw >> HookWord::TAG_SHIFT;
+        let operand = (raw & HookWord::OPERAND_MASK) as usize;
+        match tag {
+            HOOK_CALL => self.batch_call(state, operand),
+            HOOK_RETURN => Self::batch_return(state),
+            HOOK_ENTRY => self.batch_entry(
+                state,
+                operand,
+                ((raw >> HookWord::VIA_SHIFT) & HookWord::VIA_MASK) as usize,
+            ),
+            HOOK_EXIT => Self::batch_exit(state),
+            _ => debug_assert!(false, "unknown hook tag {tag}"),
+        }
+    }
+
+    /// Call word: masked `ID += av`, masked pending install, unconditional
+    /// caller-record push. No branches.
+    #[inline(always)]
+    fn batch_call(&self, state: &mut BatchState, site: usize) {
+        let w = self.sites.get(site).copied().unwrap_or(SiteWord::ABSENT);
+        let encoded = (w.word >> 33) & 1; // SITE_ENCODED
+        let save = (w.word >> 35) & 1; // SITE_SAVE_PENDING
+        let add = w.av & encoded.wrapping_neg();
+        debug_assert!(
+            state.id.checked_add(add).is_some(),
+            "encoding ID overflow outside a corrupted-path scenario"
+        );
+        state.id = state.id.wrapping_add(add);
+        state.counts.adds += encoded;
+        state.counts.pending_saves += save;
+        state.calls.push(BatchCallRec {
+            add,
+            flags: encoded | save << 1 | state.pend_valid << 2,
+            saved_pair: state.pend_site << 32 | state.pend_expected,
+            saved_id: state.pend_id,
+        });
+        let m = save.wrapping_neg();
+        state.pend_valid = select(m, 1, state.pend_valid);
+        state.pend_site = select(m, site as u64, state.pend_site);
+        state.pend_expected = select(m, w.word & SID_MASK, state.pend_expected);
+        state.pend_id = select(m, state.id, state.pend_id);
+    }
+
+    /// Return word: masked `ID -= av`, masked pending restore. No branches
+    /// beyond the record pop.
+    #[inline(always)]
+    fn batch_return(state: &mut BatchState) {
+        let rec = state.calls.pop().expect("balanced hook stream prefix");
+        debug_assert!(
+            state.id >= rec.add,
+            "encoding ID underflow outside a corrupted-path scenario"
+        );
+        state.id = state.id.wrapping_sub(rec.add);
+        state.counts.subs += rec.flags & 1;
+        let m = ((rec.flags >> 1) & 1).wrapping_neg();
+        state.pend_valid = select(m, (rec.flags >> 2) & 1, state.pend_valid);
+        state.pend_site = select(m, rec.saved_pair >> 32, state.pend_site);
+        state.pend_expected = select(m, rec.saved_pair & 0xFFFF_FFFF, state.pend_expected);
+        state.pend_id = select(m, rec.saved_id, state.pend_id);
+    }
+
+    /// Entry word: the UCP / back-edge / anchor decision computed as mask
+    /// bits; only an entry that actually pushes a frame (rare) leaves the
+    /// straight-line path.
+    #[inline(always)]
+    fn batch_entry(&self, state: &mut BatchState, method: usize, via_plus_1: usize) {
+        let e = self
+            .entries
+            .get(method)
+            .copied()
+            .unwrap_or(EntryWord::ABSENT);
+        let present = (e.word >> 32) & 1; // ENTRY_PRESENT
+        let do_check = (e.word >> 35) & 1; // ENTRY_DO_CHECK
+        let anchor = (e.word >> 33) & 1; // ENTRY_ANCHOR
+        state.counts.sid_checks += do_check;
+        // `via_plus_1 == 0` wraps to an out-of-range index and loads the
+        // absent word, so the no-via entry needs no separate path.
+        let vw = self
+            .sites
+            .get(via_plus_1.wrapping_sub(1))
+            .copied()
+            .unwrap_or(SiteWord::ABSENT);
+        let via_present = (vw.word >> 32) & 1; // SITE_PRESENT
+        let mismatch = (state.pend_valid ^ 1) | u64::from(state.pend_expected != e.word & SID_MASK);
+        let ucp = do_check & mismatch & 1;
+        // The MAY_BACK_EDGE bit gates the table probe: almost never set,
+        // so the branch predicts; the probe itself is two loads plus a
+        // branchless fold over a tiny slice.
+        let back = if vw.word & SITE_MAY_BACK_EDGE != 0 {
+            state.counts.backedge_probes += 1;
+            self.back_edge_probe(via_plus_1.wrapping_sub(1), method as u32) & present
+        } else {
+            0
+        };
+        let pushed = ucp | back | anchor;
+        state.outcomes.push(pushed as u8);
+        if pushed != 0 {
+            self.batch_entry_push(state, method, via_plus_1, via_present, ucp, back);
+        }
+    }
+
+    /// The rare push path of an entry word: reproduces the scalar state
+    /// machine's UCP > recursion > anchor priority and frame contents
+    /// exactly (normal branches are fine here — pushes are off the
+    /// straight-line path by construction).
+    fn batch_entry_push(
+        &self,
+        state: &mut BatchState,
+        method: usize,
+        via_plus_1: usize,
+        via_present: u64,
+        ucp: u64,
+        back: u64,
+    ) {
+        let node = MethodId::from_index(method);
+        let via = (via_present != 0).then(|| SiteId::from_index(via_plus_1 - 1));
+        let frame = if ucp != 0 {
+            state.counts.ucp_detections += 1;
+            let (site, saved_id) = if state.pend_valid != 0 {
+                (
+                    Some(SiteId::from_index(state.pend_site as usize)),
+                    state.pend_id,
+                )
+            } else {
+                (None, state.id)
+            };
+            Frame {
+                tag: FrameTag::Ucp,
+                node,
+                site,
+                saved_id,
+            }
+        } else if back != 0 {
+            Frame {
+                tag: FrameTag::Recursion,
+                node,
+                site: via,
+                saved_id: state.id,
+            }
+        } else {
+            Frame {
+                tag: FrameTag::Anchor,
+                node,
+                site: via,
+                saved_id: state.id,
+            }
+        };
+        state.frames.push(frame);
+        state.id = 0;
+        state.counts.pushes += 1;
+        state.counts.stack_hwm = state.counts.stack_hwm.max(state.frames.len() as u64);
+    }
+
+    /// Exit word: pop the matching entry's outcome; restore the saved ID
+    /// when the entry pushed (rare, predictable branch).
+    #[inline(always)]
+    fn batch_exit(state: &mut BatchState) {
+        let outcome = state.outcomes.pop().expect("balanced hook stream prefix");
+        if outcome != 0 {
+            let frame = state
+                .frames
+                .pop()
+                .expect("encoding stack underflow: unbalanced entry/exit hooks");
+            state.id = frame.saved_id;
+            state.counts.pops += 1;
+        }
     }
 }
 

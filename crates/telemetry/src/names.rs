@@ -220,6 +220,36 @@ pub const PROFILE_HOOK_SAMPLES: &str = "profile.hook_samples";
 /// Configured sampling period N of the hook sampler (gauge).
 pub const PROFILE_HOOK_PERIOD: &str = "profile.hook_period";
 
+// ---- encoder.batched.* / encoder.backedge.* — batch engine ----
+//
+// The per-technique metrics (`encoder.batched.stack_hwm`, …) follow the
+// `encoder.<technique>.<metric>` format family like every other encoder;
+// the names below are the batch engine's *fixed* machinery metrics,
+// independent of the CPT mode the encoder runs under.
+
+/// Buffer flushes the batched encoder pushed through the batch kernel
+/// (counter).
+pub const ENCODER_BATCHED_FLUSHES: &str = "encoder.batched.flushes";
+
+/// Hook words the batched encoder consumed (counter).
+pub const ENCODER_BATCHED_HOOKS: &str = "encoder.batched.hooks";
+
+/// Distribution of flushed batch lengths (histogram).
+pub const ENCODER_BATCHED_BATCH_LEN: &str = "encoder.batched.batch_len";
+
+/// Configured batch capacity in hook words (gauge).
+pub const ENCODER_BATCHED_CAPACITY: &str = "encoder.batched.capacity";
+
+/// Recursion back-edge pairs in the compiled two-level lookup table
+/// (gauge).
+pub const ENCODER_BACKEDGE_PAIRS: &str = "encoder.backedge.pairs";
+
+/// Sites with a non-empty bucket in the back-edge lookup table (gauge).
+pub const ENCODER_BACKEDGE_SITES: &str = "encoder.backedge.sites";
+
+/// Back-edge lookup-table probes taken on the hot path (counter).
+pub const ENCODER_BACKEDGE_PROBES: &str = "encoder.backedge.probes";
+
 /// Every fixed metric name the workspace emits. Format-string families
 /// (`ops.*`, `encoder.*`) are validated by prefix instead — see
 /// [`is_registered`].
@@ -286,6 +316,13 @@ pub const ALL: &[&str] = &[
     PROFILE_HOOK_NS,
     PROFILE_HOOK_SAMPLES,
     PROFILE_HOOK_PERIOD,
+    ENCODER_BATCHED_FLUSHES,
+    ENCODER_BATCHED_HOOKS,
+    ENCODER_BATCHED_BATCH_LEN,
+    ENCODER_BATCHED_CAPACITY,
+    ENCODER_BACKEDGE_PAIRS,
+    ENCODER_BACKEDGE_SITES,
+    ENCODER_BACKEDGE_PROBES,
 ];
 
 /// Whether `name` is a registered workspace metric name: either one of
@@ -326,5 +363,24 @@ mod tests {
         assert!(!is_registered("ops.dangling"));
         assert!(!is_registered("vm.unheard_of"));
         assert!(!is_registered("encoder.flat"));
+    }
+
+    #[test]
+    fn batch_engine_names_are_fixed_constants() {
+        // The batch engine's machinery metrics must be registered as fixed
+        // constants (not left to the `encoder.*` format family alone), so
+        // external tooling can key on them.
+        for name in [
+            ENCODER_BATCHED_FLUSHES,
+            ENCODER_BATCHED_HOOKS,
+            ENCODER_BATCHED_BATCH_LEN,
+            ENCODER_BATCHED_CAPACITY,
+            ENCODER_BACKEDGE_PAIRS,
+            ENCODER_BACKEDGE_SITES,
+            ENCODER_BACKEDGE_PROBES,
+        ] {
+            assert!(ALL.contains(&name), "{name} missing from the registry");
+            assert!(is_registered(name));
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! deltapath list
 //! deltapath inspect <benchmark> [--scope app|all] [--width BITS]
 //! deltapath dot <benchmark> [--scope app|all]
-//! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk|cct]
+//! deltapath run <benchmark> [--encoder native|pcc|deltapath|deltapath-nocpt|compiled|compiled-nocpt|batched|batched-nocpt|stackwalk|cct]
 //! deltapath decode <benchmark>     # run, capture, decode a few contexts
 //! deltapath report <benchmark> [--encoder NAME] [--json]   # run report (summary or JSON)
 //! deltapath report --from FILE [--json]                    # re-read a saved report
@@ -31,12 +31,12 @@ use deltapath::workloads::scale::ScaleConfig;
 use deltapath::workloads::specjvm::{program, suite};
 use deltapath::{
     audit_delta, audit_plan_full, audit_plan_with, diff_plans, parse_graph, parse_plan,
-    render_graph, render_plan, Analysis, AuditBaseline, AuditOptions, AuditReport, CallGraph,
-    Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder, ContextProfile, ContextStats,
-    DeltaEncoder, EncodingPlan, EncodingWidth, EventLog, FoldedStacks, GraphConfig, GraphStats,
-    ImportError, ImportedPlan, NullCollector, NullEncoder, NullTelemetry, PlanConfig,
-    PlanParseError, Program, RunReport, ScopeFilter, SpanProfiler, StackWalkEncoder, Telemetry, Vm,
-    VmConfig,
+    render_graph, render_plan, Analysis, AuditBaseline, AuditOptions, AuditReport,
+    BatchedDeltaEncoder, CallGraph, Capture, CollectMode, CompiledDeltaEncoder, ContextEncoder,
+    ContextProfile, ContextStats, DeltaEncoder, EncodingPlan, EncodingWidth, EventLog,
+    FoldedStacks, GraphConfig, GraphStats, ImportError, ImportedPlan, NullCollector, NullEncoder,
+    NullTelemetry, PlanConfig, PlanParseError, Program, RunReport, ScopeFilter, SpanProfiler,
+    StackWalkEncoder, Telemetry, Vm, VmConfig,
 };
 
 fn main() -> ExitCode {
@@ -65,7 +65,8 @@ fn main() -> ExitCode {
                  dot <bench>               print the encoded call graph in Graphviz format\n\
                  run <bench>               execute under an encoder and report costs\n\
                  \x20   --encoder NAME     native|pcc|deltapath|deltapath-nocpt|\n\
-                 \x20                      compiled|compiled-nocpt|stackwalk|cct\n\
+                 \x20                      compiled|compiled-nocpt|batched|batched-nocpt|\n\
+                 \x20                      stackwalk|cct\n\
                  decode <bench>            run, capture, and decode example contexts\n\
                  report <bench>            run with telemetry; print a human-readable summary\n\
                  \x20                      (histograms as p50/p90/p99 upper bounds)\n\
@@ -78,7 +79,8 @@ fn main() -> ExitCode {
                  flamegraph <bench>        folded flamegraph stacks (inferno-compatible) on stdout\n\
                  \x20   --contexts         decoded calling contexts weighted by entries (default)\n\
                  \x20   --spans            self-time of the analysis/audit/run span tree\n\
-                 \x20   --encoder NAME     deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk\n\
+                 \x20   --encoder NAME     deltapath|deltapath-nocpt|compiled|compiled-nocpt|\n\
+                 \x20                      batched|batched-nocpt|stackwalk\n\
                  \x20   --scope app|all    selective vs full encoding (default: app)\n\
                  \x20   --out FILE         write to FILE instead of stdout\n\
                  \x20   --check [--all]    validate flamegraphs against the stack-walk oracle\n\
@@ -265,6 +267,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let compiled = nocpt.compile();
             run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?
         }
+        "batched" => {
+            let compiled = plan.compile();
+            run_one(&p, vm_config, BatchedDeltaEncoder::new(&compiled))?
+        }
+        "batched-nocpt" => {
+            let compiled = nocpt.compile();
+            run_one(&p, vm_config, BatchedDeltaEncoder::new(&compiled))?
+        }
         "stackwalk" => run_one(&p, vm_config, StackWalkEncoder::full())?,
         "cct" => run_one(&p, vm_config, CctEncoder::new())?,
         other => return Err(format!("unknown encoder {other:?}")),
@@ -406,6 +416,16 @@ fn profiled_run(args: &[String]) -> Result<(Program, String, Arc<SpanProfiler>),
             let compiled = plan.compile();
             run_one(&p, vm_config, CompiledDeltaEncoder::new(&compiled))?;
         }
+        "batched" => {
+            let plan = analyzed(&plan_config)?;
+            let compiled = plan.compile();
+            run_one(&p, vm_config, BatchedDeltaEncoder::new(&compiled))?;
+        }
+        "batched-nocpt" => {
+            let plan = analyzed(&plan_config.with_cpt(false))?;
+            let compiled = plan.compile();
+            run_one(&p, vm_config, BatchedDeltaEncoder::new(&compiled))?;
+        }
         "stackwalk" => {
             run_one(&p, vm_config, StackWalkEncoder::full())?;
         }
@@ -546,11 +566,16 @@ fn context_folded(
             let compiled = plan.compile();
             profile_entries(p, CompiledDeltaEncoder::new(&compiled))?
         }
+        "batched" | "batched-nocpt" => {
+            let compiled = plan.compile();
+            profile_entries(p, BatchedDeltaEncoder::new(&compiled))?
+        }
         "stackwalk" => profile_entries(p, StackWalkEncoder::full())?,
         other => {
             return Err(format!(
                 "encoder {other:?} does not produce decodable contexts \
-                 (use deltapath|deltapath-nocpt|compiled|compiled-nocpt|stackwalk)"
+                 (use deltapath|deltapath-nocpt|compiled|compiled-nocpt|\
+                 batched|batched-nocpt|stackwalk)"
             ))
         }
     };

@@ -383,6 +383,44 @@ fn stale_entry_instruction_raises_dp040() {
     assert!(audit_compiled(&plan, &plan.compile()).is_empty());
 }
 
+#[test]
+fn stale_back_edge_lookup_table_raises_dp040() {
+    // The recursion hazard of dynamic loading: compile first, then drop a
+    // back-edge pair from the plan (re-analysis after a class unload can
+    // legitimately shrink the set). The stale image still carries the pair
+    // in *both* of its projections — the pair list and the two-level
+    // lookup table the batch kernel probes — and the audit must flag each
+    // one independently, the table with its own diagnostic.
+    let p = dispatch_program();
+    let mut plan = analyze(&p);
+    let compiled = plan.compile();
+    let pair = plan
+        .back_edge_call_pairs()
+        .next()
+        .expect("dispatch_program recurses");
+    assert!(plan.back_edge_calls_mut().remove(&pair));
+
+    let diags = audit_compiled(&plan, &compiled);
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.code == LintCode::CompiledPlanDivergence),
+        "back-edge divergence must surface as DP040 only, got {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("lookup table")),
+        "the lookup-table projection must be flagged on its own, got {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("invented by the tables")),
+        "the pair-list projection must be flagged too, got {diags:?}"
+    );
+    // Re-lowering from the mutated plan restores agreement on both.
+    assert!(audit_compiled(&plan, &plan.compile()).is_empty());
+}
+
 fn method_named(p: &Program, qualified: &str) -> deltapath::MethodId {
     p.methods()
         .iter()

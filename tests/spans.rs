@@ -10,8 +10,9 @@ use std::sync::Arc;
 use deltapath::telemetry::{names, Json, Lane, LaneSnapshot, SpanEvent, SpanTree, TRACE_SCHEMA};
 use deltapath::workloads::synthetic::{generate, SyntheticConfig};
 use deltapath::{
-    audit_plan_with, CollectMode, CompiledDeltaEncoder, EncodingPlan, FoldedStacks, HookSampler,
-    PlanConfig, ScopedSpan, ShardedCollector, SpanProfiler, SpanSnapshot, Telemetry, Vm, VmConfig,
+    audit_plan_with, BatchedDeltaEncoder, CollectMode, CompiledDeltaEncoder, EncodingPlan,
+    FoldedStacks, HookSampler, NullCollector, PlanConfig, ScopedSpan, ShardedCollector,
+    SpanProfiler, SpanSnapshot, Telemetry, Vm, VmConfig,
 };
 
 /// Thread counts to stress: `DELTAPATH_STRESS_THREADS=a,b,c` or the
@@ -292,6 +293,21 @@ fn instrumented_run_records_only_registered_names() {
     drop(handle);
     collector.stats_with(sink);
 
+    // A second run under the batched encoder, so its `encoder.batched.*` /
+    // `encoder.backedge.*` end-of-run metrics flow through the same
+    // registry check.
+    let mut batched = BatchedDeltaEncoder::new(&compiled)
+        .with_capacity(8)
+        .with_batch_telemetry(profiler.recorder());
+    let mut vm = Vm::new(
+        &program,
+        VmConfig::default()
+            .with_collect(CollectMode::Entries)
+            .with_telemetry(profiler.clone()),
+    );
+    vm.run(&mut batched, &mut NullCollector)
+        .expect("batched run");
+
     let report = profiler.report(program.name());
     let mut checked = 0usize;
     for (kind, name) in report
@@ -322,6 +338,11 @@ fn instrumented_run_records_only_registered_names() {
         names::COLLECTOR_SHARD_MERGE,
         names::PROFILE_HOOK_SAMPLES,
         names::SPAN_LANES,
+        names::ENCODER_BATCHED_FLUSHES,
+        names::ENCODER_BATCHED_HOOKS,
+        names::ENCODER_BATCHED_BATCH_LEN,
+        names::ENCODER_BATCHED_CAPACITY,
+        names::ENCODER_BACKEDGE_PAIRS,
     ] {
         let present = report.counters.iter().any(|(n, _)| n == expected)
             || report.gauges.iter().any(|(n, _)| n == expected)
